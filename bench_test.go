@@ -1,0 +1,164 @@
+package repro_test
+
+// One testing.B benchmark per table/figure of the paper's evaluation
+// (Section 4). Each benchmark runs the corresponding experiment at reduced
+// parameters and reports its headline metrics via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation. cmd/sorrento-bench runs the full-size
+// versions and prints the complete tables/series.
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func reportTo(b *testing.B) io.Writer { return io.Discard }
+
+// BenchmarkFig9SmallFileLatency regenerates the Figure 9 table: small-file
+// create/write/read/unlink response times on NFS, PVFS and Sorrento.
+func BenchmarkFig9SmallFileLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig9(bench.Fig9Params{
+			Scale:   bench.Scale{Time: 0.1, Data: 1},
+			Ops:     10,
+			Systems: []string{"nfs", "pvfs-8", "sorrento-(8,1)", "sorrento-(8,2)"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Report(reportTo(b))
+		for _, row := range res.Rows {
+			b.ReportMetric(row.CreateMs, row.System+"-create-ms")
+			b.ReportMetric(row.WriteMs, row.System+"-write-ms")
+		}
+	}
+}
+
+// BenchmarkFig10SmallFileThroughput regenerates Figure 10: sustained
+// small-file session throughput vs client count.
+func BenchmarkFig10SmallFileThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig10(bench.Fig10Params{
+			Scale:             bench.Scale{Time: 0.04, Data: 1},
+			Clients:           []int{1, 4, 8},
+			SessionsPerClient: 12,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Report(reportTo(b))
+		for sys, curve := range res.Curves {
+			b.ReportMetric(curve[len(curve)-1].SessionsPS, sys+"-sessions/s")
+		}
+	}
+}
+
+// BenchmarkFig11BulkIO regenerates Figure 11: large-file read/write rates
+// vs client count, including the eager-vs-lazy replica propagation
+// comparison.
+func BenchmarkFig11BulkIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig11(bench.Fig11Params{
+			Scale:          bench.Scale{Time: 0.01, Data: 1024},
+			Clients:        []int{1, 8},
+			Files:          16,
+			BytesPerClient: 64 << 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Report(reportTo(b))
+		for sys, curve := range res.Curves {
+			last := curve[len(curve)-1]
+			b.ReportMetric(last.ReadMBs, sys+"-read-MB/s")
+			b.ReportMetric(last.WrMBs, sys+"-write-MB/s")
+		}
+	}
+}
+
+// BenchmarkFig12TraceReplay regenerates Figure 12: BTIO and PSM application
+// trace replay across the three systems.
+func BenchmarkFig12TraceReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig12(bench.Fig12Params{
+			Scale:      bench.Scale{Time: 0.01, Data: 1024},
+			BTIOSteps:  10,
+			PSMQueries: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Report(reportTo(b))
+		for _, row := range res.Rows {
+			b.ReportMetric(row.AvgSec, row.App+"-"+row.System+"-sec")
+		}
+	}
+}
+
+// BenchmarkFig13FailureRecovery regenerates Figure 13: transfer-rate
+// timeline across a provider failure and a node addition, plus the time to
+// restore full replication.
+func BenchmarkFig13FailureRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig13(bench.Fig13Params{
+			Scale:        bench.Scale{Time: 0.02, Data: 1024},
+			Files:        24,
+			RunFor:       90 * time.Second,
+			RecoveryWait: 40 * time.Minute,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Report(reportTo(b))
+		b.ReportMetric(res.BaselineMBs, "baseline-MB/s")
+		b.ReportMetric(res.RecoveredMBs, "recovered-MB/s")
+		b.ReportMetric(res.RecoverySec, "replication-restored-sec")
+	}
+}
+
+// BenchmarkFig14CrawlerPlacement regenerates the Figure 14 table: storage
+// usage unevenness for random vs space-based vs space+migration placement
+// under the skewed crawler workload.
+func BenchmarkFig14CrawlerPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig14(bench.Fig14Params{
+			Scale:             bench.Scale{Time: 0.001, Data: 2048},
+			Crawlers:          20,
+			DomainsPerCrawler: 10,
+			TotalBytes:        97 << 30,
+			DiskCapacity:      51 << 30,
+			Duration:          4 * time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Report(reportTo(b))
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Unevenness, row.Variant+"-unevenness")
+		}
+	}
+}
+
+// BenchmarkFig15LocalityMigration regenerates Figure 15: per-query I/O time
+// as locality-driven migration co-locates PSM partitions with their service
+// processes.
+func BenchmarkFig15LocalityMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig15(bench.Fig15Params{
+			Scale:  bench.Scale{Time: 0.002, Data: 2048},
+			RunFor: 15 * time.Minute,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Report(reportTo(b))
+		b.ReportMetric(res.InitialMs, "initial-ms/query")
+		b.ReportMetric(res.FinalMs, "final-ms/query")
+		b.ReportMetric(float64(res.LocalAfter), "partitions-colocated")
+	}
+}

@@ -1,0 +1,179 @@
+// Command sorrento-bench regenerates the tables and figures of the
+// Sorrento paper's evaluation (Section 4) on the simulated cluster.
+//
+// Usage:
+//
+//	sorrento-bench -exp fig9            # one experiment
+//	sorrento-bench -exp all             # every experiment
+//	sorrento-bench -exp fig11 -quick    # reduced parameters (CI-sized)
+//
+// Results print in the same rows/series the paper reports; EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|all")
+	quick := flag.Bool("quick", false, "reduced parameters (faster, noisier)")
+	flag.Parse()
+
+	runners := map[string]func(bool) error{
+		"fig9":      runFig9,
+		"fig10":     runFig10,
+		"fig11":     runFig11,
+		"fig12":     runFig12,
+		"fig13":     runFig13,
+		"fig14":     runFig14,
+		"fig15":     runFig15,
+		"ablations": runAblations,
+	}
+	order := []string{"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablations"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Printf("=== %s ===\n", name)
+			if err := runners[name](*quick); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if err := run(*quick); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", *exp, err)
+		os.Exit(1)
+	}
+}
+
+func runFig9(quick bool) error {
+	p := bench.Fig9Params{Scale: bench.Scale{Time: 0.1, Data: 1}}
+	if quick {
+		p.Ops = 10
+	}
+	res, err := bench.RunFig9(p)
+	if err != nil {
+		return err
+	}
+	res.Report(os.Stdout)
+	return nil
+}
+
+func runFig10(quick bool) error {
+	p := bench.Fig10Params{Scale: bench.Scale{Time: 0.04, Data: 1}}
+	if quick {
+		p.Clients = []int{1, 4, 8}
+		p.SessionsPerClient = 12
+	}
+	res, err := bench.RunFig10(p)
+	if err != nil {
+		return err
+	}
+	res.Report(os.Stdout)
+	return nil
+}
+
+func runFig11(quick bool) error {
+	p := bench.Fig11Params{Scale: bench.Scale{Time: 0.01, Data: 1024}}
+	if quick {
+		p.Clients = []int{1, 4, 8}
+		p.Files = 16
+		p.BytesPerClient = 64 << 20
+	}
+	res, err := bench.RunFig11(p)
+	if err != nil {
+		return err
+	}
+	res.Report(os.Stdout)
+	return nil
+}
+
+func runFig12(quick bool) error {
+	p := bench.Fig12Params{Scale: bench.Scale{Time: 0.01, Data: 1024}}
+	if quick {
+		p.BTIOSteps = 10
+		p.PSMQueries = 8
+	}
+	res, err := bench.RunFig12(p)
+	if err != nil {
+		return err
+	}
+	res.Report(os.Stdout)
+	return nil
+}
+
+func runFig13(quick bool) error {
+	p := bench.Fig13Params{Scale: bench.Scale{Time: 0.02, Data: 1024}}
+	if quick {
+		p.Files = 24
+		p.RunFor = 90 * time.Second
+		p.RecoveryWait = 40 * time.Minute
+	}
+	res, err := bench.RunFig13(p)
+	if err != nil {
+		return err
+	}
+	res.Report(os.Stdout)
+	return nil
+}
+
+func runFig14(quick bool) error {
+	p := bench.Fig14Params{Scale: bench.Scale{Time: 0.001, Data: 2048}}
+	if quick {
+		p.Crawlers = 20
+		p.DomainsPerCrawler = 6
+		p.Duration = 4 * time.Hour
+	}
+	res, err := bench.RunFig14(p)
+	if err != nil {
+		return err
+	}
+	res.Report(os.Stdout)
+	return nil
+}
+
+func runFig15(quick bool) error {
+	p := bench.Fig15Params{Scale: bench.Scale{Time: 0.002, Data: 2048}}
+	if quick {
+		p.RunFor = 15 * time.Minute
+	}
+	res, err := bench.RunFig15(p)
+	if err != nil {
+		return err
+	}
+	res.Report(os.Stdout)
+	return nil
+}
+
+func runAblations(quick bool) error {
+	delta, err := bench.RunDeltaSyncAblation()
+	if err != nil {
+		return err
+	}
+	delta.Report(os.Stdout)
+	repl, err := bench.RunReplicationAblation(bench.Scale{Time: 0.1})
+	if err != nil {
+		return err
+	}
+	repl.Report(os.Stdout)
+	alpha, err := bench.RunAlphaAblation(bench.Scale{Time: 0.001, Data: 2048})
+	if err != nil {
+		return err
+	}
+	alpha.Report(os.Stdout)
+	_ = quick
+	return nil
+}

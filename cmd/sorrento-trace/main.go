@@ -1,0 +1,168 @@
+// Command sorrento-trace generates the paper's application workload traces
+// and replays saved traces against a live TCP volume — the trace-replay
+// methodology of §4 as a standalone utility.
+//
+//	sorrento-trace gen -workload smallfile -out sf.trace -count 100
+//	sorrento-trace gen -workload bulk -out bulk.trace -files 4 -filesize 8388608
+//	sorrento-trace gen -workload btio -out btio.trace -rank 0 -procs 4
+//	sorrento-trace gen -workload psm -out psm.trace
+//	sorrento-trace gen -workload crawler -out crawl.trace
+//	sorrento-trace replay -in sf.trace -ns 127.0.0.1:7000 -seeds 127.0.0.1:7001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  sorrento-trace gen    -workload smallfile|bulk|btio|psm|crawler -out FILE [options]
+  sorrento-trace replay -in FILE -ns ADDR -seeds a,b [-repl N]`)
+	os.Exit(2)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("workload", "smallfile", "smallfile|bulk|btio|psm|crawler")
+	out := fs.String("out", "", "output trace file")
+	count := fs.Int("count", 100, "smallfile: sessions")
+	size := fs.Int64("size", 12<<10, "smallfile: write size")
+	files := fs.Int("files", 4, "bulk: file count")
+	fileSize := fs.Int64("filesize", 64<<20, "bulk: file size")
+	reqSize := fs.Int64("reqsize", 4<<20, "bulk: request size")
+	requests := fs.Int("requests", 64, "bulk: request count")
+	write := fs.Bool("write", false, "bulk: write instead of read")
+	rank := fs.Int("rank", 0, "btio: this process's rank")
+	procs := fs.Int("procs", 4, "btio: process count")
+	steps := fs.Int("steps", 40, "btio: solution dumps")
+	seed := fs.Int64("seed", 1, "randomness seed")
+	fs.Parse(args)
+	if *out == "" {
+		usage()
+	}
+
+	var tr *trace.Trace
+	switch *kind {
+	case "smallfile":
+		tr = workload.SmallFileSessions("/trace", *count, *size)
+	case "bulk":
+		names := make([]string, *files)
+		for i := range names {
+			names[i] = fmt.Sprintf("/bulk-%03d", i)
+		}
+		tr = workload.Bulk(workload.BulkParams{
+			Files: names, FileSize: *fileSize, ReqSize: *reqSize,
+			Requests: *requests, Write: *write, Seed: *seed,
+		})
+	case "btio":
+		tr = workload.BTIO(workload.BTIOParams{
+			Path: "/btio", Processes: *procs, Rank: *rank,
+			BlockSize: 1 << 20, BlocksPerStep: 1, Steps: *steps, ReadFraction: 0.63,
+		})
+	case "psm":
+		tr = workload.PSM(workload.PSMParams{
+			Partitions:    []string{"/psm/part-00", "/psm/part-01", "/psm/part-02"},
+			PartitionSize: 64 << 20, Queries: 50, ScanBytes: 3 << 20,
+			ReadSize: 256 << 10, Think: 500 * time.Millisecond, Seed: *seed,
+		})
+	case "crawler":
+		tr = workload.Crawler(workload.CrawlerParams{
+			Index: 0, Domains: 8, PageSize: 16 << 10, MeanPages: 100,
+			MaxPages: 2000, PagesPerSecond: 10, Duration: 10 * time.Minute, Seed: *seed,
+		})
+	default:
+		usage()
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatalf("sorrento-trace: %v", err)
+	}
+	defer f.Close()
+	if err := tr.Save(f); err != nil {
+		log.Fatalf("sorrento-trace: %v", err)
+	}
+	fmt.Printf("wrote %d records to %s\n", len(tr.Records), *out)
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "", "trace file")
+	ns := fs.String("ns", "127.0.0.1:7000", "namespace server address")
+	seeds := fs.String("seeds", "", "comma-separated provider addresses")
+	repl := fs.Int("repl", 1, "replication degree for created files")
+	fs.Parse(args)
+	if *in == "" {
+		usage()
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatalf("sorrento-trace: %v", err)
+	}
+	tr, err := trace.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("sorrento-trace: %v", err)
+	}
+
+	var seedList []string
+	if *seeds != "" {
+		seedList = strings.Split(*seeds, ",")
+	}
+	network := &transport.TCPNetwork{Bind: "127.0.0.1:0", Seeds: seedList}
+	clock := simtime.Real()
+	client, err := core.NewClient("127.0.0.1:0", clock, network, core.Config{
+		Namespace: wire.NodeID(*ns),
+	})
+	if err != nil {
+		log.Fatalf("sorrento-trace: %v", err)
+	}
+	defer client.Close()
+	if err := client.WaitForProviders(1, 5*time.Second); err != nil {
+		log.Fatalf("sorrento-trace: %v", err)
+	}
+
+	attrs := wire.DefaultAttrs()
+	attrs.ReplDeg = *repl
+	mount := core.NewFS(client, attrs, "replay")
+	r := trace.NewReplayer(clock, mount)
+	errCount := 0
+	r.OnError = func(rec trace.Record, err error) {
+		if errCount < 5 {
+			log.Printf("op error: %s %s: %v", rec.Kind, rec.Path, err)
+		}
+		errCount++
+	}
+	st := r.Run(tr)
+	fmt.Printf("replayed %d ops in %.2fs: read %.2f MB (%.2f MB/s), wrote %.2f MB (%.2f MB/s), %d errors\n",
+		st.Ops, st.Elapsed.Seconds(),
+		float64(st.BytesRead)/1e6, st.ReadRate(),
+		float64(st.BytesWritten)/1e6, st.WriteRate(), st.Errors)
+}

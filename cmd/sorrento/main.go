@@ -1,0 +1,130 @@
+// Command sorrento is the volume utility: it mounts a Sorrento volume over
+// TCP and performs namespace and file operations.
+//
+// Usage:
+//
+//	sorrento -ns 127.0.0.1:7000 -seeds 127.0.0.1:7001 mkdir /data
+//	sorrento -ns ... put /data/blob ./local-file
+//	sorrento -ns ... get /data/blob ./copy
+//	sorrento -ns ... ls /data
+//	sorrento -ns ... stat /data/blob
+//	sorrento -ns ... rm /data/blob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simtime"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	ns := flag.String("ns", "127.0.0.1:7000", "namespace server address")
+	seeds := flag.String("seeds", "", "comma-separated provider addresses (membership bootstrap)")
+	repl := flag.Int("repl", 1, "replication degree for created files")
+	alpha := flag.Float64("alpha", 0.5, "placement favoritism α for created files")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+
+	var seedList []string
+	if *seeds != "" {
+		seedList = strings.Split(*seeds, ",")
+	}
+	network := &transport.TCPNetwork{Bind: "127.0.0.1:0", Seeds: seedList}
+	client, err := core.NewClient("127.0.0.1:0", simtime.Real(), network, core.Config{
+		Namespace: wire.NodeID(*ns),
+	})
+	if err != nil {
+		log.Fatalf("sorrento: %v", err)
+	}
+	defer client.Close()
+	// Give the heartbeat listener a moment to learn the providers.
+	if err := client.WaitForProviders(1, 5*time.Second); err != nil {
+		log.Fatalf("sorrento: no providers visible: %v", err)
+	}
+
+	switch args[0] {
+	case "mkdir":
+		need(args, 2)
+		check(client.Mkdir(args[1]))
+	case "rmdir":
+		need(args, 2)
+		check(client.Rmdir(args[1]))
+	case "ls":
+		need(args, 2)
+		entries, err := client.ReadDir(args[1])
+		check(err)
+		for _, e := range entries {
+			if e.IsDir {
+				fmt.Printf("%-30s dir\n", e.Name)
+			} else {
+				fmt.Printf("%-30s v%d %d bytes\n", e.Name, e.Entry.Version, e.Entry.Size)
+			}
+		}
+	case "stat":
+		need(args, 2)
+		entry, err := client.Stat(args[1])
+		check(err)
+		fmt.Printf("path:    %s\nfileid:  %s\nversion: %d\nsize:    %d\nrepl:    %d\nmode:    %s\n",
+			entry.Path, entry.FileID, entry.Version, entry.Size, entry.Attrs.ReplDeg, entry.Attrs.Mode)
+	case "put":
+		need(args, 3)
+		data, err := os.ReadFile(args[2])
+		check(err)
+		attrs := wire.DefaultAttrs()
+		attrs.ReplDeg = *repl
+		attrs.Alpha = *alpha
+		f, err := client.Create(args[1], attrs)
+		check(err)
+		_, err = f.WriteAt(data, 0)
+		check(err)
+		check(f.Close())
+		fmt.Printf("wrote %d bytes to %s\n", len(data), args[1])
+	case "get":
+		need(args, 3)
+		f, err := client.Open(args[1])
+		check(err)
+		buf := make([]byte, f.Size())
+		if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+			check(err)
+		}
+		check(os.WriteFile(args[2], buf, 0o644))
+		fmt.Printf("read %d bytes from %s\n", len(buf), args[1])
+	case "rm":
+		need(args, 2)
+		check(client.Remove(args[1]))
+	case "append":
+		need(args, 3)
+		check(client.AtomicAppend(args[1], []byte(args[2])))
+	default:
+		usage()
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatalf("sorrento: %v", err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sorrento [-ns addr] [-seeds a,b] <mkdir|rmdir|ls|stat|put|get|rm|append> args...")
+	os.Exit(2)
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Sorrento: A
+// Self-Organizing Storage Cluster for Parallel Data-Intensive Applications"
+// (Tang, Gulbeden, Zhou, Chu, Yang — SC 2004).
+//
+// The implementation lives under internal/: the client library (core), the
+// storage provider and namespace server daemons, the membership/location/
+// placement/migration protocols, the NFS-like and PVFS-like baselines, and
+// the benchmark harness that regenerates every table and figure of the
+// paper's evaluation. See README.md for the tour and DESIGN.md for the
+// system inventory.
+package repro

@@ -1,0 +1,106 @@
+// Failover: demonstrate Sorrento's self-organization (paper §4.3). A
+// 5-provider volume holds a 3×-replicated file; one provider crashes, the
+// survivors detect it through missed heartbeats, data stays readable, and
+// the home hosts re-create the lost replicas in the background. A fresh
+// provider then joins and is absorbed without interrupting anything.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/wire"
+)
+
+func main() {
+	c, err := cluster.New(cluster.Options{Providers: 5, Scale: 0.002})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.AwaitStable(5, 2*time.Minute); err != nil {
+		log.Fatal(err)
+	}
+	client, err := c.NewClient("app")
+	if err != nil {
+		log.Fatal(err)
+	}
+	client.WaitForProviders(5, time.Minute)
+
+	attrs := wire.DefaultAttrs()
+	attrs.ReplDeg = 3
+	f, err := client.Create("/vital.dat", attrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload := make([]byte, 256<<10)
+	f.WriteAt(payload, 0)
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	entry, _ := client.Stat("/vital.dat")
+
+	replicas := func() int {
+		n := 0
+		for _, p := range c.Providers() {
+			if p.Store().Stat(entry.FileID).Present {
+				n++
+			}
+		}
+		return n
+	}
+	waitReplicas := func(want int) {
+		for replicas() < want {
+			c.Clock.Sleep(2 * time.Second)
+		}
+	}
+	waitReplicas(3)
+	fmt.Printf("file fully replicated: %d/3 index replicas\n", replicas())
+
+	// Find a replica holder and crash it.
+	var victim wire.NodeID
+	for id, p := range c.Providers() {
+		if p.Store().Stat(entry.FileID).Present {
+			victim = id
+			break
+		}
+	}
+	fmt.Printf("crashing provider %s ...\n", victim)
+	if err := c.KillProvider(victim); err != nil {
+		log.Fatal(err)
+	}
+
+	// The file stays readable throughout.
+	r, err := client.Open("/vital.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		log.Fatalf("read during failure: %v", err)
+	}
+	fmt.Println("file still readable while the failure is being detected")
+
+	// Survivors detect the failure (5 missed heartbeats) and restore the
+	// replication degree.
+	for client.Members().IsLive(victim) {
+		c.Clock.Sleep(time.Second)
+	}
+	fmt.Printf("failure detected: live providers = %v\n", client.Members().Live())
+	waitReplicas(3)
+	fmt.Printf("replication degree restored: %d/3 replicas on the survivors\n", replicas())
+
+	// Incremental expansion: plug in a new node; it joins the ring and
+	// starts receiving placements with no reconfiguration.
+	if _, err := c.AddProvider("pnew"); err != nil {
+		log.Fatal(err)
+	}
+	for !client.Members().IsLive("pnew") {
+		c.Clock.Sleep(time.Second)
+	}
+	fmt.Printf("new provider absorbed: live providers = %v\n", client.Members().Live())
+}

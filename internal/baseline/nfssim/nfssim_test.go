@@ -1,0 +1,145 @@
+package nfssim
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+)
+
+func newDeployment(t *testing.T) (*FS, *simtime.Clock) {
+	t.Helper()
+	clock := simtime.NewClock(0.001)
+	fabric := simnet.New(clock, simnet.FastEthernet())
+	d := disk.New(clock, "nfs", disk.SCSI10K(), 32<<30)
+	if _, err := NewServer(clock, Config{}, fabric, d); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFS("c1", fabric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, clock
+}
+
+func TestCreateWriteReadRemove(t *testing.T) {
+	fs, _ := newDeployment(t)
+	f, err := fs.Create("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("nfs payload")
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs.Open("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != int64(len(payload)) {
+		t.Errorf("size = %d", g.Size())
+	}
+	buf := make([]byte, len(payload))
+	if _, err := g.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatalf("read %q", buf)
+	}
+	if err := fs.Remove("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("/a"); err == nil {
+		t.Error("open after remove succeeded")
+	}
+}
+
+func TestDuplicateCreate(t *testing.T) {
+	fs, _ := newDeployment(t)
+	fs.Create("/a")
+	if _, err := fs.Create("/a"); err == nil {
+		t.Error("duplicate create succeeded")
+	}
+}
+
+func TestSparseWriteZeroFills(t *testing.T) {
+	fs, _ := newDeployment(t)
+	f, _ := fs.Create("/sparse")
+	f.WriteAt([]byte("end"), 100)
+	buf := make([]byte, 103)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 || string(buf[100:]) != "end" {
+		t.Errorf("sparse read = %q", buf)
+	}
+}
+
+func TestSmallOpLatencyShape(t *testing.T) {
+	// NFS small ops must be sub-10ms modeled: the paper measures 0.67–2.9ms.
+	fs, clock := newDeployment(t)
+	sw := clock.Start()
+	const n = 20
+	for i := 0; i < n; i++ {
+		f, err := fs.Create("/f" + string(rune('a'+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	per := sw.Elapsed() / n
+	if per > 15*time.Millisecond {
+		t.Errorf("create latency %v modeled, want sub-10ms", per)
+	}
+}
+
+func TestServerThroughputCap(t *testing.T) {
+	// The per-byte cost must cap bulk throughput near 8 MB/s modeled. A
+	// coarser time scale keeps modeled costs well above real compute noise
+	// (memcpy/GC) for MB-sized payloads.
+	clock := simtime.NewClock(0.05)
+	fabric := simnet.New(clock, simnet.FastEthernet())
+	d := disk.New(clock, "nfs", disk.SCSI10K(), 32<<30)
+	if _, err := NewServer(clock, Config{}, fabric, d); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFS("c1", fabric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Create("/bulk")
+	payload := make([]byte, 1<<20)
+	sw := clock.Start()
+	const writes = 8
+	for i := 0; i < writes; i++ {
+		if _, err := f.WriteAt(payload, int64(i)<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := sw.Elapsed().Seconds()
+	rate := float64(writes<<20) / elapsed / 1e6
+	if rate > 12 {
+		t.Errorf("NFS write rate %.1f MB/s modeled, want ≤ ~8-10", rate)
+	}
+	if rate < 2 {
+		t.Errorf("NFS write rate %.1f MB/s modeled, unexpectedly slow", rate)
+	}
+}
+
+func TestReadAtEOF(t *testing.T) {
+	fs, _ := newDeployment(t)
+	f, _ := fs.Create("/x")
+	f.WriteAt([]byte("ab"), 0)
+	buf := make([]byte, 10)
+	n, err := f.ReadAt(buf, 0)
+	if n != 2 || err != io.EOF {
+		t.Errorf("ReadAt = %d, %v", n, err)
+	}
+}

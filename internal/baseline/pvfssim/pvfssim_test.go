@@ -1,0 +1,148 @@
+package pvfssim
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+)
+
+func newDeployment(t *testing.T, iods int) (*FS, *simtime.Clock, *simnet.Fabric, *Deployment) {
+	t.Helper()
+	clock := simtime.NewClock(0.001)
+	fabric := simnet.New(clock, simnet.FastEthernet())
+	dep, err := New(clock, Config{IODs: iods}, fabric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFS("c1", fabric, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, clock, fabric, dep
+}
+
+func TestCreateWriteReadRoundTrip(t *testing.T) {
+	fs, _, _, _ := newDeployment(t, 4)
+	f, err := fs.Create("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 300<<10) // spans multiple stripes and rows
+	rand.New(rand.NewSource(1)).Read(payload)
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs.Open("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != int64(len(payload)) {
+		t.Fatalf("size = %d", g.Size())
+	}
+	buf := make([]byte, len(payload))
+	if _, err := g.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("striped content mismatch")
+	}
+	// Unaligned mid-file read.
+	chunk := make([]byte, 100000)
+	if _, err := g.ReadAt(chunk, 12345); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(chunk, payload[12345:112345]) {
+		t.Fatal("offset read mismatch")
+	}
+}
+
+func TestStripingDistributesData(t *testing.T) {
+	fs, _, _, dep := newDeployment(t, 4)
+	f, _ := fs.Create("/spread")
+	f.WriteAt(make([]byte, 1<<20), 0)
+	f.Close()
+	// Every daemon's stripe file should hold ~256 KB.
+	for i, n := range dep.IODBytes() {
+		if n < 200<<10 || n > 320<<10 {
+			t.Errorf("iod %d holds %d bytes, want ~256KB", i, n)
+		}
+	}
+}
+
+func TestRemoveFreesAllStripes(t *testing.T) {
+	fs, _, _, dep := newDeployment(t, 4)
+	f, _ := fs.Create("/gone")
+	f.WriteAt(make([]byte, 1<<20), 0)
+	f.Close()
+	if err := fs.Remove("/gone"); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range dep.IODFileCount() {
+		if n != 0 {
+			t.Errorf("iod %d still holds %d stripe files", i, n)
+		}
+	}
+	if _, err := fs.Open("/gone"); err == nil {
+		t.Error("open after remove succeeded")
+	}
+}
+
+func TestMDSSerializesSmallOps(t *testing.T) {
+	// Concurrent creates must queue at the MDS: ~15ms each, so 20 creates
+	// from 4 clients take ≥ 250ms modeled.
+	fs, clock, fabric, dep := newDeployment(t, 4)
+	_ = fs
+	clients := make([]*FS, 4)
+	for i := range clients {
+		c, err := NewFS("cc"+string(rune('0'+i)), fabric, dep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+	}
+	sw := clock.Start()
+	var wg sync.WaitGroup
+	for ci, c := range clients {
+		wg.Add(1)
+		go func(ci int, c *FS) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				f, err := c.Create("/f" + string(rune('0'+ci)) + string(rune('0'+j)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				f.Close()
+			}
+		}(ci, c)
+	}
+	wg.Wait()
+	if elapsed := sw.Elapsed(); elapsed < 250*time.Millisecond {
+		t.Errorf("20 sessions finished in %v modeled; MDS not the bottleneck", elapsed)
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	fs, _, _, _ := newDeployment(t, 2)
+	f, _ := fs.Create("/e")
+	f.WriteAt([]byte("xy"), 0)
+	f.Close()
+	g, _ := fs.Open("/e")
+	buf := make([]byte, 10)
+	n, err := g.ReadAt(buf, 0)
+	if n != 2 || err != io.EOF {
+		t.Errorf("ReadAt = %d %v", n, err)
+	}
+	if _, err := g.ReadAt(buf, 50); err != io.EOF {
+		t.Errorf("far read err = %v", err)
+	}
+}

@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"io"
+	"os"
+	"testing"
+	"time"
+)
+
+// reportWriter sends experiment reports to stderr under -v, devnull
+// otherwise.
+func reportWriter(t *testing.T) io.Writer {
+	if testing.Verbose() {
+		return os.Stderr
+	}
+	return io.Discard
+}
+
+// The experiment smoke tests run every figure end-to-end with reduced
+// parameters and assert the paper's qualitative shapes. The full-size runs
+// live in cmd/sorrento-bench and the repo-root benchmarks.
+
+func TestFig9Shapes(t *testing.T) {
+	res, err := RunFig9(Fig9Params{
+		Scale:   Scale{Time: 0.1, Data: 1},
+		Ops:     12,
+		Systems: []string{"nfs", "pvfs-8", "sorrento-(8,1)", "sorrento-(8,2)"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Report(reportWriter(t))
+	rows := map[string]Fig9Row{}
+	for _, r := range res.Rows {
+		rows[r.System] = r
+	}
+	nfs, pvfs := rows["nfs"], rows["pvfs-8"]
+	s1, s2 := rows["sorrento-(8,1)"], rows["sorrento-(8,2)"]
+
+	// NFS is far fastest on small ops.
+	if nfs.CreateMs > 3 || nfs.CreateMs >= s1.CreateMs || nfs.WriteMs >= s1.WriteMs {
+		t.Errorf("NFS not fastest: %+v vs %+v", nfs, s1)
+	}
+	// Sorrento beats PVFS on create/write/read.
+	if s1.CreateMs >= pvfs.CreateMs || s1.WriteMs >= pvfs.WriteMs || s1.ReadMs >= pvfs.ReadMs {
+		t.Errorf("Sorrento did not beat PVFS: %+v vs %+v", s1, pvfs)
+	}
+	// Replication ≈ free for create/write (lazy propagation)…
+	if s2.WriteMs > s1.WriteMs*1.5 {
+		t.Errorf("replication slowed writes: %v vs %v", s2.WriteMs, s1.WriteMs)
+	}
+	// …but unlink gets slower with more replicas to remove eagerly.
+	if s2.UnlinkMs < s1.UnlinkMs {
+		t.Errorf("unlink with replication faster: %v vs %v", s2.UnlinkMs, s1.UnlinkMs)
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	res, err := RunFig10(Fig10Params{
+		Scale:             Scale{Time: 0.04, Data: 1},
+		Clients:           []int{1, 4, 8},
+		SessionsPerClient: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Report(reportWriter(t))
+	nfs := res.Curves["nfs"]
+	pvfs := res.Curves["pvfs-8"]
+	sor := res.Curves["sorrento-(8,2)"]
+
+	// PVFS saturates lowest (metadata server bottleneck, ≈64/s).
+	last := func(c []Fig10Point) float64 { return c[len(c)-1].SessionsPS }
+	if last(pvfs) > 100 {
+		t.Errorf("PVFS throughput %v, want ≈64/s saturation", last(pvfs))
+	}
+	// Sorrento scales with clients: 8-client rate well above 1-client rate.
+	if last(sor) < sor[0].SessionsPS*3 {
+		t.Errorf("Sorrento not scaling: %v → %v", sor[0].SessionsPS, last(sor))
+	}
+	// Sorrento overtakes PVFS by 8 clients; NFS is highest at low counts.
+	if last(sor) < last(pvfs)*1.8 {
+		t.Errorf("Sorrento (%v) not well above PVFS (%v)", last(sor), last(pvfs))
+	}
+	if nfs[0].SessionsPS < sor[0].SessionsPS {
+		t.Errorf("NFS single-client (%v) below Sorrento (%v)", nfs[0].SessionsPS, sor[0].SessionsPS)
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	res, err := RunFig11(Fig11Params{
+		Scale:          Scale{Time: 0.01, Data: 1024},
+		Clients:        []int{1, 4, 8},
+		Files:          16,
+		BytesPerClient: 64 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Report(reportWriter(t))
+	last := func(sys string) Fig11Point {
+		c := res.Curves[sys]
+		return c[len(c)-1]
+	}
+	nfs, pvfs, sor := last("nfs"), last("pvfs-8"), last("sorrento-(8,2)")
+
+	// NFS saturates around 8 MB/s; the parallel systems scale far past it.
+	if nfs.ReadMBs > 14 || nfs.WrMBs > 14 {
+		t.Errorf("NFS rates too high: %+v", nfs)
+	}
+	if pvfs.ReadMBs < nfs.ReadMBs*2 || sor.ReadMBs < nfs.ReadMBs*2 {
+		t.Errorf("parallel systems not scaling past NFS: pvfs %+v sor %+v", pvfs, sor)
+	}
+	// Reads comparable between PVFS and Sorrento; PVFS writes well ahead
+	// (Sorrento commits every write to two replicas).
+	if sor.ReadMBs < pvfs.ReadMBs/2 {
+		t.Errorf("Sorrento reads (%v) far below PVFS (%v)", sor.ReadMBs, pvfs.ReadMBs)
+	}
+	if pvfs.WrMBs < sor.WrMBs*1.3 {
+		t.Errorf("PVFS writes (%v) not ahead of replicated Sorrento (%v)", pvfs.WrMBs, sor.WrMBs)
+	}
+}
+
+func TestFig12Shapes(t *testing.T) {
+	res, err := RunFig12(Fig12Params{
+		Scale:      Scale{Time: 0.01, Data: 1024},
+		BTIOSteps:  10,
+		PSMQueries: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Report(reportWriter(t))
+	get := func(app, sys string) Fig12Row {
+		for _, r := range res.Rows {
+			if r.App == app && r.System == sys {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", app, sys)
+		return Fig12Row{}
+	}
+	// NFS is several times slower than both parallel systems on both
+	// applications.
+	for _, app := range []string{"BTIO", "PSM"} {
+		nfs, pvfs, sor := get(app, "nfs"), get(app, "pvfs-8"), get(app, "sorrento-(8,1)")
+		if nfs.AvgSec < pvfs.AvgSec*2 || nfs.AvgSec < sor.AvgSec*2 {
+			t.Errorf("%s: NFS (%.0fs) not much slower than pvfs %.0fs / sorrento %.0fs",
+				app, nfs.AvgSec, pvfs.AvgSec, sor.AvgSec)
+		}
+		// PVFS and Sorrento are comparable (within 2×).
+		ratio := sor.AvgSec / pvfs.AvgSec
+		if ratio > 2 || ratio < 0.5 {
+			t.Errorf("%s: sorrento/pvfs ratio %.2f out of range", app, ratio)
+		}
+	}
+}
+
+func TestFig13Shapes(t *testing.T) {
+	res, err := RunFig13(Fig13Params{
+		Scale:        Scale{Time: 0.02, Data: 1024},
+		Files:        24,
+		RunFor:       90 * time.Second,
+		RecoveryWait: 40 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Report(reportWriter(t))
+	if res.BaselineMBs <= 0 {
+		t.Fatal("no baseline rate measured")
+	}
+	// The rate recovers to a substantial fraction of baseline after the
+	// location tables adjust (paper: ~94%, then ~85% during repair).
+	if res.RecoveredMBs < res.BaselineMBs*0.5 {
+		t.Errorf("recovered rate %.1f far below baseline %.1f", res.RecoveredMBs, res.BaselineMBs)
+	}
+	// Lost replicas are eventually restored.
+	if res.RecoverySec < 0 {
+		t.Errorf("replication not restored (replicas %d → %d)", res.ReplicasBefore, res.ReplicasAfter)
+	}
+}
+
+func TestFig14Shapes(t *testing.T) {
+	// Single runs of the reduced experiment are noisy; average three
+	// seeded trials per variant before asserting the paper's ordering.
+	sums := map[string]float64{}
+	const trials = 3
+	for trial := 0; trial < trials; trial++ {
+		res, err := RunFig14(Fig14Params{
+			Scale:             Scale{Time: 0.001, Data: 2048},
+			Crawlers:          20,
+			DomainsPerCrawler: 10,
+			// Scale the crawl volume and per-node capacity with the
+			// reduced crawler count so both the per-domain heavy tail and
+			// the ~19% mean storage utilization match the full-size run.
+			TotalBytes:   97 << 30,
+			DiskCapacity: 51 << 30,
+			Duration:     4 * time.Hour,
+			SeedBase:     int64(trial * 1000),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Report(reportWriter(t))
+		for _, r := range res.Rows {
+			sums[r.Variant] += r.Unevenness
+		}
+	}
+	random := sums["sorrento-random"] / trials
+	space := sums["sorrento-space"] / trials
+	migr := sums["sorrento-migration"] / trials
+	t.Logf("mean unevenness over %d trials: random %.2f, space %.2f, migration %.2f",
+		trials, random, space, migr)
+	// The paper's ordering: random worst, space better, migration best.
+	if !(migr <= space*1.05 && space <= random*1.05) {
+		t.Errorf("unevenness ordering violated: random %.2f, space %.2f, migration %.2f",
+			random, space, migr)
+	}
+	if migr > 2.5 {
+		t.Errorf("migration unevenness %.2f, want ≲2 (paper: 1.81)", migr)
+	}
+}
+
+func TestFig15Shapes(t *testing.T) {
+	res, err := RunFig15(Fig15Params{
+		Scale:  Scale{Time: 0.002, Data: 2048},
+		RunFor: 15 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Report(reportWriter(t))
+	// Locality-driven migration must co-locate more partitions with their
+	// processes…
+	if res.LocalAfter <= res.LocalBefore {
+		t.Errorf("no locality migration: %d → %d local partitions", res.LocalBefore, res.LocalAfter)
+	}
+	// …and cut the per-query I/O time (paper: 62 → 46 ms, −26%).
+	if res.FinalMs >= res.InitialMs {
+		t.Errorf("I/O time did not improve: %.1f → %.1f ms", res.InitialMs, res.FinalMs)
+	}
+}
+
+func TestDeltaSyncAblation(t *testing.T) {
+	res, err := RunDeltaSyncAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Report(reportWriter(t))
+	// Delta sync must move far fewer bytes than a full transfer for small
+	// updates.
+	vals := map[string]float64{}
+	for _, r := range res.Rows {
+		vals[r.Setting] = r.Value
+	}
+	if d := vals["1 x 64KB update (delta)"]; d <= 0 || d > float64(128<<10) {
+		t.Errorf("delta for a 64KB update moved %v bytes", d)
+	}
+	if vals["1 x 64KB update (delta)"]*10 > vals["1 x 64KB update (full)"] {
+		t.Errorf("delta not ≫ cheaper than full: %v vs %v",
+			vals["1 x 64KB update (delta)"], vals["1 x 64KB update (full)"])
+	}
+}
+
+func TestReplicationAblation(t *testing.T) {
+	res, err := RunReplicationAblation(Scale{Time: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Report(reportWriter(t))
+	vals := map[string]float64{}
+	for _, r := range res.Rows {
+		vals[r.Setting] = r.Value
+	}
+	// Lazy propagation keeps writes roughly flat across degrees…
+	if vals["repl=3 write"] > vals["repl=1 write"]*1.6 {
+		t.Errorf("writes scale with replication: %v vs %v", vals["repl=3 write"], vals["repl=1 write"])
+	}
+	// …while eager removal makes unlink grow.
+	if vals["repl=3 unlink"] <= vals["repl=1 unlink"] {
+		t.Errorf("unlink did not grow with replication: %v vs %v", vals["repl=3 unlink"], vals["repl=1 unlink"])
+	}
+}
+
+func TestAlphaAblation(t *testing.T) {
+	res, err := RunAlphaAblation(Scale{Time: 0.001, Data: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Report(reportWriter(t))
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	for _, r := range res.Rows {
+		if r.Value <= 0 {
+			t.Errorf("%s produced unevenness %v", r.Setting, r.Value)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fsapi"
+	"repro/internal/simtime"
+)
+
+// Fig10Params configure the sustained small-file throughput experiment
+// (§4.1.2): N concurrent clients each repeatedly create a file, write 12 KB
+// into it, and close it; the metric is completed sessions per second.
+type Fig10Params struct {
+	Scale Scale
+	// Clients are the concurrency levels swept (paper: 1–16).
+	Clients []int
+	// SessionsPerClient bounds each client's work at every level.
+	SessionsPerClient int
+	// WriteSize is the session payload (paper: 12 KB).
+	WriteSize int64
+	// Systems filters deployments (nil = NFS, PVFS-8, Sorrento-(8,2)).
+	Systems []string
+}
+
+func (p Fig10Params) withDefaults() Fig10Params {
+	if p.Scale.Time <= 0 {
+		p.Scale.Time = 0.05
+	}
+	p.Scale.Data = 1
+	if len(p.Clients) == 0 {
+		p.Clients = []int{1, 2, 4, 8, 12, 16}
+	}
+	if p.SessionsPerClient <= 0 {
+		p.SessionsPerClient = 40
+	}
+	if p.WriteSize <= 0 {
+		p.WriteSize = 12 << 10
+	}
+	if p.Systems == nil {
+		p.Systems = []string{"nfs", "pvfs-8", "sorrento-(8,2)"}
+	}
+	return p
+}
+
+// Fig10Point is one (clients, sessions/s) sample.
+type Fig10Point struct {
+	Clients    int
+	SessionsPS float64
+}
+
+// Fig10Result is the regenerated figure: one curve per system.
+type Fig10Result struct {
+	Curves map[string][]Fig10Point
+	Order  []string
+}
+
+// Report prints the curves.
+func (r *Fig10Result) Report(w io.Writer) {
+	fmt.Fprintf(w, "Figure 10: small file throughput (sessions/second)\n")
+	fmt.Fprintf(w, "%-16s", "system")
+	if len(r.Order) > 0 {
+		for _, pt := range r.Curves[r.Order[0]] {
+			fmt.Fprintf(w, " %6dc", pt.Clients)
+		}
+	}
+	fmt.Fprintln(w)
+	for _, sys := range r.Order {
+		fmt.Fprintf(w, "%-16s", sys)
+		for _, pt := range r.Curves[sys] {
+			fmt.Fprintf(w, " %7.1f", pt.SessionsPS)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RunFig10 regenerates Figure 10.
+func RunFig10(p Fig10Params) (*Fig10Result, error) {
+	p = p.withDefaults()
+	res := &Fig10Result{Curves: make(map[string][]Fig10Point)}
+	for _, sys := range p.Systems {
+		res.Order = append(res.Order, sys)
+		// One deployment per system; client counts sweep against it with
+		// disjoint path prefixes.
+		mounts, clock, cleanup, err := buildMounts(sys, p.Scale, maxInt(p.Clients))
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s: %w", sys, err)
+		}
+		for round, n := range p.Clients {
+			rate, err := fig10Round(mounts[:n], clock, p, fmt.Sprintf("r%d", round))
+			if err != nil {
+				cleanup()
+				return nil, fmt.Errorf("fig10 %s %dc: %w", sys, n, err)
+			}
+			res.Curves[sys] = append(res.Curves[sys], Fig10Point{Clients: n, SessionsPS: rate})
+		}
+		cleanup()
+	}
+	return res, nil
+}
+
+// deployment is one instantiated system with n client mounts.
+type deployment struct {
+	mounts  []fsapi.System
+	clock   *simtime.Clock
+	cluster *cluster.Cluster // nil for the baselines
+	close   func()
+}
+
+// quiesce waits for background replication to drain (no-op for baselines).
+func (d *deployment) quiesce(timeout time.Duration) {
+	if d.cluster != nil {
+		d.cluster.AwaitQuiesce(timeout)
+	}
+}
+
+// buildDeployment creates n client mounts of the named system.
+func buildDeployment(name string, scale Scale, n int) (*deployment, error) {
+	switch name {
+	case "nfs":
+		env, err := NewNFS(scale)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]fsapi.System, n)
+		for i := range out {
+			if out[i], err = env.NewFS(); err != nil {
+				return nil, err
+			}
+		}
+		return &deployment{mounts: out, clock: env.Clock(), close: env.Close}, nil
+	case "pvfs-4", "pvfs-8":
+		iods := 4
+		if name == "pvfs-8" {
+			iods = 8
+		}
+		env, err := NewPVFS(scale, iods)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]fsapi.System, n)
+		for i := range out {
+			if out[i], err = env.NewFS(); err != nil {
+				return nil, err
+			}
+		}
+		return &deployment{mounts: out, clock: env.Clock(), close: env.Close}, nil
+	default:
+		var pn, r int
+		if _, err := fmt.Sscanf(name, "sorrento-(%d,%d)", &pn, &r); err != nil {
+			return nil, fmt.Errorf("bench: unknown system %q", name)
+		}
+		env, err := NewSorrento(scale, SorrentoOptions{Providers: pn, ReplDeg: r})
+		if err != nil {
+			return nil, err
+		}
+		out := make([]fsapi.System, n)
+		for i := range out {
+			if out[i], err = env.NewFS(defaultAttrs(r)); err != nil {
+				return nil, err
+			}
+		}
+		return &deployment{mounts: out, clock: env.Clock(), cluster: env.Cluster, close: env.Close}, nil
+	}
+}
+
+// buildMounts is the legacy accessor used by single-shot experiments.
+func buildMounts(name string, scale Scale, n int) ([]fsapi.System, *simtime.Clock, func(), error) {
+	d, err := buildDeployment(name, scale, n)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return d.mounts, d.clock, d.close, nil
+}
+
+func fig10Round(mounts []fsapi.System, clock *simtime.Clock, p Fig10Params, prefix string) (float64, error) {
+	payload := make([]byte, p.WriteSize)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(mounts))
+	sw := clock.Start()
+	for ci, fs := range mounts {
+		wg.Add(1)
+		go func(ci int, fs fsapi.System) {
+			defer wg.Done()
+			for s := 0; s < p.SessionsPerClient; s++ {
+				path := fmt.Sprintf("/fig10-%s-c%02d-%04d", prefix, ci, s)
+				f, err := fs.Create(path)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := f.WriteAt(payload, 0); err != nil {
+					errs <- err
+					return
+				}
+				if err := f.Close(); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(ci, fs)
+	}
+	wg.Wait()
+	for range mounts {
+		if err := <-errs; err != nil {
+			return 0, err
+		}
+	}
+	elapsed := sw.Elapsed().Seconds()
+	return float64(len(mounts)*p.SessionsPerClient) / elapsed, nil
+}
+
+func maxInt(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fsapi"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// Fig11Params configure the large-file microbenchmark (§4.2.1): bulkread /
+// bulkwrite of ReqSize chunks at random aligned offsets within a
+// pre-populated set of FileSize files, each client touching a disjoint
+// subset, sweeping the client count.
+type Fig11Params struct {
+	Scale Scale
+	// Clients are the concurrency levels (paper: up to 16).
+	Clients []int
+	// Files is the pre-populated file count (paper: 160 for the cluster
+	// systems, 30 for NFS).
+	Files int
+	// FileSize is each file's size at paper scale (512 MB).
+	FileSize int64
+	// ReqSize is the request size at paper scale (4 MB).
+	ReqSize int64
+	// BytesPerClient is each client's total transfer at paper scale (256 MB).
+	BytesPerClient int64
+	// Systems filters deployments. "sorrento-(8,2)+eager" selects
+	// synchronous replica propagation.
+	Systems []string
+}
+
+func (p Fig11Params) withDefaults() Fig11Params {
+	p.Scale = p.Scale.withDefaults()
+	if len(p.Clients) == 0 {
+		p.Clients = []int{1, 2, 4, 8, 16}
+	}
+	if p.Files <= 0 {
+		p.Files = 32
+	}
+	if p.FileSize <= 0 {
+		p.FileSize = 512 << 20
+	}
+	if p.ReqSize <= 0 {
+		p.ReqSize = 4 << 20
+	}
+	if p.BytesPerClient <= 0 {
+		p.BytesPerClient = 256 << 20
+	}
+	if p.Systems == nil {
+		p.Systems = []string{"nfs", "pvfs-8", "sorrento-(8,2)", "sorrento-(8,2)+eager"}
+	}
+	return p
+}
+
+// Fig11Point is one (clients, MB/s) sample at paper scale.
+type Fig11Point struct {
+	Clients int
+	ReadMBs float64
+	WrMBs   float64
+}
+
+// Fig11Result holds one curve per system.
+type Fig11Result struct {
+	Curves map[string][]Fig11Point
+	Order  []string
+}
+
+// Report prints the read and write curves.
+func (r *Fig11Result) Report(w io.Writer) {
+	fmt.Fprintf(w, "Figure 11: large file read/write rates (MB/s, paper scale)\n")
+	for _, metric := range []string{"read", "write"} {
+		fmt.Fprintf(w, "[%s]\n%-22s", metric, "system")
+		if len(r.Order) > 0 {
+			for _, pt := range r.Curves[r.Order[0]] {
+				fmt.Fprintf(w, " %6dc", pt.Clients)
+			}
+		}
+		fmt.Fprintln(w)
+		for _, sys := range r.Order {
+			fmt.Fprintf(w, "%-22s", sys)
+			for _, pt := range r.Curves[sys] {
+				v := pt.ReadMBs
+				if metric == "write" {
+					v = pt.WrMBs
+				}
+				fmt.Fprintf(w, " %7.1f", v)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// RunFig11 regenerates Figure 11.
+func RunFig11(p Fig11Params) (*Fig11Result, error) {
+	p = p.withDefaults()
+	res := &Fig11Result{Curves: make(map[string][]Fig11Point)}
+	for _, sys := range p.Systems {
+		res.Order = append(res.Order, sys)
+		base, eager := sys, false
+		if base == "sorrento-(8,2)+eager" {
+			base, eager = "sorrento-(8,2)", true
+		}
+		nclients := maxInt(p.Clients)
+		dep, err := buildDeployment(base, p.Scale, nclients)
+		if err != nil {
+			return nil, fmt.Errorf("fig11 %s: %w", sys, err)
+		}
+		mounts, clock, cleanup := dep.mounts, dep.clock, dep.close
+		files := make([]string, p.Files)
+		for i := range files {
+			files[i] = fmt.Sprintf("/bulk-%03d", i)
+		}
+		if err := prepopulate(mounts, files, p.Scale.Bytes(p.FileSize), p.Scale.Bytes(p.ReqSize)); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("fig11 %s populate: %w", sys, err)
+		}
+		for _, n := range p.Clients {
+			pt := Fig11Point{Clients: n}
+			for _, write := range []bool{false, true} {
+				// Let background replica propagation from the previous
+				// round drain so each measurement sees steady state.
+				dep.quiesce(20 * time.Minute)
+				rate, err := fig11Round(mounts[:n], clock, files, p, write, eager)
+				if err != nil {
+					cleanup()
+					return nil, fmt.Errorf("fig11 %s %dc: %w", sys, n, err)
+				}
+				if write {
+					pt.WrMBs = p.Scale.Rate(rate)
+				} else {
+					pt.ReadMBs = p.Scale.Rate(rate)
+				}
+			}
+			res.Curves[sys] = append(res.Curves[sys], pt)
+		}
+		cleanup()
+	}
+	return res, nil
+}
+
+// prepopulate writes every file once, spreading the work across the mounts.
+func prepopulate(mounts []fsapi.System, files []string, fileSize, chunk int64) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, len(files))
+	sem := make(chan struct{}, len(mounts))
+	for i, path := range files {
+		fs := mounts[i%len(mounts)]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(fs fsapi.System, path string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			f, err := fs.Create(path)
+			if err != nil {
+				errs <- err
+				return
+			}
+			buf := make([]byte, chunk)
+			for off := int64(0); off < fileSize; off += chunk {
+				n := chunk
+				if off+n > fileSize {
+					n = fileSize - off
+				}
+				if _, err := f.WriteAt(buf[:n], off); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- f.Close()
+		}(fs, path)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig11Round measures the aggregate transfer rate (modeled MB/s) for n
+// clients issuing random-offset requests over disjoint file subsets.
+func fig11Round(mounts []fsapi.System, clock *simtime.Clock, files []string, p Fig11Params, write, eager bool) (float64, error) {
+	reqSize := p.Scale.Bytes(p.ReqSize)
+	fileSize := p.Scale.Bytes(p.FileSize)
+	requests := int(p.BytesPerClient / p.ReqSize)
+	var total stats.Counter
+	var wg sync.WaitGroup
+	errs := make(chan error, len(mounts))
+	sw := clock.Start()
+	for ci, fs := range mounts {
+		// Disjoint subsets.
+		subset := files[ci*len(files)/len(mounts) : (ci+1)*len(files)/len(mounts)]
+		if len(subset) == 0 {
+			subset = files[ci%len(files) : ci%len(files)+1]
+		}
+		wg.Add(1)
+		go func(ci int, fs fsapi.System, subset []string) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(ci + 1)))
+			buf := make([]byte, reqSize)
+			for r := 0; r < requests; r++ {
+				path := subset[rng.Intn(len(subset))]
+				off := rng.Int63n(maxI64(fileSize-reqSize, 1))
+				off -= off % 4096
+				if write {
+					f, err := fs.OpenWrite(path)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if _, err := f.WriteAt(buf, off); err != nil {
+						errs <- err
+						return
+					}
+					if err := commitFile(f, eager); err != nil {
+						errs <- err
+						return
+					}
+					total.Add(reqSize)
+				} else {
+					f, err := fs.Open(path)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if n, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+						errs <- err
+						return
+					} else {
+						total.Add(int64(n))
+					}
+					f.Close()
+				}
+			}
+			errs <- nil
+		}(ci, fs, subset)
+	}
+	wg.Wait()
+	for range mounts {
+		if err := <-errs; err != nil {
+			return 0, err
+		}
+	}
+	elapsed := sw.Elapsed().Seconds()
+	return float64(total.Total()) / elapsed / 1e6, nil
+}
+
+// commitFile publishes a write: Sorrento handles get a real versioned
+// commit (eager = synchronous replica propagation); the baselines' Close is
+// enough.
+func commitFile(f fsapi.File, eager bool) error {
+	if sf, ok := f.(*core.File); ok {
+		if err := sf.Commit(core.CommitOptions{Sync: eager}); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fsapi"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// Fig12Params configure the application trace-replay comparison (§4.2.2):
+// NAS BTIO (4 replayers cooperatively writing 2.7 GB / reading 1.7 GB of a
+// shared solution file through byte-range writes with versioning disabled)
+// and the parallel Protein Sequence Matching service (8 replayers reading
+// 3.1 GB from 24 partitions), on NFS, PVFS-8, and Sorrento-(8,1).
+type Fig12Params struct {
+	Scale Scale
+	// BTIO geometry (paper-sized; scaled internally). The slab is one
+	// rank's contiguous chunk per solution dump, issued as a single
+	// list-write.
+	BTIOProcs int
+	BTIOSlab  int64
+	BTIOSteps int
+	BTIORead  float64
+	// PSM geometry.
+	PSMProcs      int
+	PSMPartitions int
+	PartitionSize int64
+	PSMQueries    int
+	PSMScanBytes  int64
+	PSMReadSize   int64
+	// Systems filters deployments.
+	Systems []string
+}
+
+func (p Fig12Params) withDefaults() Fig12Params {
+	p.Scale = p.Scale.withDefaults()
+	if p.BTIOProcs <= 0 {
+		p.BTIOProcs = 4
+	}
+	if p.BTIOSlab <= 0 {
+		p.BTIOSlab = 17 << 20 // ≈2.7 GB / (4 ranks × 40 steps)
+	}
+	if p.BTIOSteps <= 0 {
+		p.BTIOSteps = 40
+	}
+	if p.BTIORead <= 0 {
+		p.BTIORead = 0.63 // 1.7 GB of 2.7 GB
+	}
+	if p.PSMProcs <= 0 {
+		p.PSMProcs = 8
+	}
+	if p.PSMPartitions <= 0 {
+		p.PSMPartitions = 24
+	}
+	if p.PartitionSize <= 0 {
+		p.PartitionSize = 1280 << 20 // 1–1.5 GB in the paper
+	}
+	if p.PSMQueries <= 0 {
+		p.PSMQueries = 40
+	}
+	if p.PSMScanBytes <= 0 {
+		// 3.1 GB total / (8 procs × queries)
+		p.PSMScanBytes = int64(3.1e9) / int64(p.PSMProcs) / int64(p.PSMQueries)
+	}
+	if p.PSMReadSize <= 0 {
+		p.PSMReadSize = 64 << 10
+	}
+	if p.Systems == nil {
+		p.Systems = []string{"nfs", "pvfs-8", "sorrento-(8,1)"}
+	}
+	return p
+}
+
+// Fig12Row is one (application, system) result.
+type Fig12Row struct {
+	App     string
+	System  string
+	MinSec  float64
+	MaxSec  float64
+	AvgSec  float64
+	ReadMBs float64
+	WrMBs   float64
+}
+
+// Fig12Result is the regenerated table.
+type Fig12Result struct {
+	Rows []Fig12Row
+}
+
+// Report prints the table in the paper's layout.
+func (r *Fig12Result) Report(w io.Writer) {
+	fmt.Fprintf(w, "Figure 12: BTIO and PSM trace replay (exec time s, rates MB/s at paper scale)\n")
+	fmt.Fprintf(w, "%-6s %-16s %8s %8s %8s %8s %8s\n", "app", "system", "min", "max", "avg", "read", "write")
+	for _, row := range r.Rows {
+		wr := "   (N/A)"
+		if row.WrMBs > 0 {
+			wr = fmt.Sprintf("%8.2f", row.WrMBs)
+		}
+		fmt.Fprintf(w, "%-6s %-16s %8.1f %8.1f %8.1f %8.2f %s\n",
+			row.App, row.System, row.MinSec, row.MaxSec, row.AvgSec, row.ReadMBs, wr)
+	}
+}
+
+// RunFig12 regenerates the Figure 12 table.
+func RunFig12(p Fig12Params) (*Fig12Result, error) {
+	p = p.withDefaults()
+	res := &Fig12Result{}
+	for _, sys := range p.Systems {
+		row, err := fig12BTIO(sys, p)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 btio %s: %w", sys, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for _, sys := range p.Systems {
+		row, err := fig12PSM(sys, p)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 psm %s: %w", sys, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func fig12BTIO(sys string, p Fig12Params) (Fig12Row, error) {
+	mounts, clock, cleanup, err := buildMounts(sys, p.Scale, p.BTIOProcs)
+	if err != nil {
+		return Fig12Row{}, err
+	}
+	defer cleanup()
+
+	slab := p.Scale.Bytes(p.BTIOSlab)
+	total := slab * int64(p.BTIOProcs) * int64(p.BTIOSteps)
+	// Create the shared file. On Sorrento the BTIO byte-range sharing
+	// pattern uses a Striped, versioning-off file (paper §4.2.2: "we
+	// disabled version-based data management to support concurrent writes
+	// to different byte ranges").
+	if sfs, ok := mounts[0].(*core.FS); ok {
+		attrs := wire.FileAttrs{
+			Mode:          wire.Striped,
+			StripeCount:   8,
+			StripeUnit:    p.Scale.Bytes(4 << 20),
+			DeclaredSize:  total,
+			VersioningOff: true,
+			ReplDeg:       1,
+			Alpha:         0.5,
+		}
+		f, cerr := sfs.Client().Create("/btio", attrs)
+		if cerr != nil {
+			return Fig12Row{}, cerr
+		}
+		f.Close()
+	} else {
+		f, cerr := mounts[0].Create("/btio")
+		if cerr != nil {
+			return Fig12Row{}, cerr
+		}
+		f.Close()
+	}
+
+	traces := make([]*trace.Trace, p.BTIOProcs)
+	for rank := range traces {
+		traces[rank] = workload.BTIO(workload.BTIOParams{
+			Path:          "/btio",
+			Processes:     p.BTIOProcs,
+			Rank:          rank,
+			BlockSize:     slab,
+			BlocksPerStep: 1,
+			Steps:         p.BTIOSteps,
+			ReadFraction:  p.BTIORead,
+		})
+	}
+	stats, err := replayAll(mounts, clock, traces)
+	if err != nil {
+		return Fig12Row{}, err
+	}
+	return summarizeReplay("BTIO", sys, p.Scale, stats), nil
+}
+
+func fig12PSM(sys string, p Fig12Params) (Fig12Row, error) {
+	mounts, clock, cleanup, err := buildMounts(sys, p.Scale, p.PSMProcs)
+	if err != nil {
+		return Fig12Row{}, err
+	}
+	defer cleanup()
+
+	partSize := p.Scale.Bytes(p.PartitionSize)
+	parts := make([]string, p.PSMPartitions)
+	for i := range parts {
+		parts[i] = fmt.Sprintf("/psm/part-%02d", i)
+	}
+	if err := mounts[0].Mkdir("/psm"); err != nil {
+		return Fig12Row{}, err
+	}
+	if err := prepopulate(mounts, parts, partSize, p.Scale.Bytes(4<<20)); err != nil {
+		return Fig12Row{}, err
+	}
+
+	perProc := p.PSMPartitions / p.PSMProcs
+	traces := make([]*trace.Trace, p.PSMProcs)
+	for i := range traces {
+		traces[i] = workload.PSM(workload.PSMParams{
+			Partitions:    parts[i*perProc : (i+1)*perProc],
+			PartitionSize: partSize,
+			Queries:       p.PSMQueries,
+			ScanBytes:     p.Scale.Bytes(p.PSMScanBytes),
+			ReadSize:      p.Scale.Bytes(p.PSMReadSize),
+			Seed:          int64(i + 1),
+		})
+	}
+	stats, err := replayAll(mounts, clock, traces)
+	if err != nil {
+		return Fig12Row{}, err
+	}
+	row := summarizeReplay("PSM", sys, p.Scale, stats)
+	row.WrMBs = 0 // PSM has no writes (N/A in the paper)
+	return row, nil
+}
+
+// replayAll launches one replayer per mount simultaneously, as the paper's
+// experiments do.
+func replayAll(mounts []fsapi.System, clock *simtime.Clock, traces []*trace.Trace) ([]trace.Stats, error) {
+	out := make([]trace.Stats, len(traces))
+	var wg sync.WaitGroup
+	for i := range traces {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := trace.NewReplayer(clock, mounts[i])
+			out[i] = r.Run(traces[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, st := range out {
+		if st.Errors > 0 {
+			return out, fmt.Errorf("replayer %d: %d op errors", i, st.Errors)
+		}
+	}
+	return out, nil
+}
+
+func summarizeReplay(app, sys string, scale Scale, stats []trace.Stats) Fig12Row {
+	row := Fig12Row{App: app, System: sys}
+	var minT, maxT, sumT time.Duration
+	var bytesRead, bytesWritten int64
+	for i, st := range stats {
+		if i == 0 || st.Elapsed < minT {
+			minT = st.Elapsed
+		}
+		if st.Elapsed > maxT {
+			maxT = st.Elapsed
+		}
+		sumT += st.Elapsed
+		bytesRead += st.BytesRead
+		bytesWritten += st.BytesWritten
+	}
+	row.MinSec = minT.Seconds()
+	row.MaxSec = maxT.Seconds()
+	row.AvgSec = sumT.Seconds() / float64(len(stats))
+	if maxT > 0 {
+		row.ReadMBs = scale.Rate(float64(bytesRead) / maxT.Seconds() / 1e6)
+		row.WrMBs = scale.Rate(float64(bytesWritten) / maxT.Seconds() / 1e6)
+	}
+	return row
+}

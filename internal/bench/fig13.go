@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fsapi"
+	"repro/internal/provider"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// Fig13Params configure the node failure/addition experiment (§4.3): 10
+// providers hold 200 × 512 MB files at replication degree 3; a constant
+// background of 3 bulkread + 2 bulkwrite clients runs at ~50% of capacity;
+// one provider is killed at FailAt and a fresh one joins at JoinAt. The
+// outputs are the aggregate transfer-rate timeline (3-second buckets) and
+// the time to restore full replication.
+type Fig13Params struct {
+	Scale Scale
+	// Providers is the storage node count (paper: 10).
+	Providers int
+	// Files and FileSize (paper-sized) define the dataset; ReplDeg 3.
+	Files    int
+	FileSize int64
+	ReplDeg  int
+	// Readers/Writers are the constant background clients (paper: 3 + 2).
+	Readers int
+	Writers int
+	// ReqSize is the background request size (paper: 4 MB reads, bulk
+	// writes).
+	ReqSize int64
+	// FailAt and JoinAt are event times from measurement start.
+	FailAt time.Duration
+	JoinAt time.Duration
+	// RunFor is the measured window.
+	RunFor time.Duration
+	// RecoveryWait bounds how long to watch for full re-replication after
+	// the measured window.
+	RecoveryWait time.Duration
+}
+
+func (p Fig13Params) withDefaults() Fig13Params {
+	if p.Scale.Time <= 0 {
+		// Generous compression: the repair/measurement loops are CPU-real,
+		// and over-compressing makes modeled time outrun the machine.
+		p.Scale.Time = 0.02
+	}
+	if p.Scale.Data <= 0 {
+		p.Scale.Data = 1024
+	}
+	if p.Providers <= 0 {
+		p.Providers = 10
+	}
+	if p.Files <= 0 {
+		p.Files = 48
+	}
+	if p.FileSize <= 0 {
+		p.FileSize = 512 << 20
+	}
+	if p.ReplDeg <= 0 {
+		p.ReplDeg = 3
+	}
+	if p.Readers <= 0 {
+		p.Readers = 3
+	}
+	if p.Writers <= 0 {
+		p.Writers = 2
+	}
+	if p.ReqSize <= 0 {
+		p.ReqSize = 4 << 20
+	}
+	if p.FailAt <= 0 {
+		p.FailAt = 30 * time.Second
+	}
+	if p.JoinAt <= 0 {
+		p.JoinAt = 45 * time.Second
+	}
+	if p.RunFor <= 0 {
+		p.RunFor = 120 * time.Second
+	}
+	if p.RecoveryWait <= 0 {
+		p.RecoveryWait = 30 * time.Minute
+	}
+	return p
+}
+
+// Fig13Result holds the timeline and recovery observations.
+type Fig13Result struct {
+	// Series is the aggregate client transfer rate (MB/s at paper scale)
+	// in 3-second buckets.
+	Series []stats.Point
+	// BaselineMBs is the pre-failure mean rate; DipMBs the post-failure
+	// minimum; RecoveredMBs the rate after the location tables adjusted.
+	BaselineMBs  float64
+	DipMBs       float64
+	RecoveredMBs float64
+	// ReplicasBefore/After count committed segment replicas cluster-wide.
+	ReplicasBefore int
+	ReplicasAfter  int
+	// RecoverySec is when full replication was restored (modeled seconds
+	// after the failure), or -1 if not within RecoveryWait.
+	RecoverySec float64
+}
+
+// Report prints the timeline and summary.
+func (r *Fig13Result) Report(w io.Writer) {
+	fmt.Fprintf(w, "Figure 13: handling node failures and additions\n")
+	fmt.Fprintf(w, "time(s)  rate(MB/s)\n")
+	for _, pt := range r.Series {
+		fmt.Fprintf(w, "%7.0f  %9.1f\n", pt.T.Seconds(), pt.V)
+	}
+	fmt.Fprintf(w, "baseline %.1f MB/s, post-failure dip %.1f, recovered %.1f\n",
+		r.BaselineMBs, r.DipMBs, r.RecoveredMBs)
+	fmt.Fprintf(w, "replicas before failure %d, after recovery %d; full replication restored after %.0f s\n",
+		r.ReplicasBefore, r.ReplicasAfter, r.RecoverySec)
+}
+
+// RunFig13 regenerates Figure 13.
+func RunFig13(p Fig13Params) (*Fig13Result, error) {
+	p = p.withDefaults()
+	pcfg := provider.DefaultConfig()
+	pcfg.RefreshInterval = 60 * time.Second
+	pcfg.GarbageAge = 150 * time.Second
+	pcfg.RepairInterval = 3 * time.Second
+	pcfg.RepairBatch = 6
+	env, err := NewSorrento(p.Scale, SorrentoOptions{
+		Providers: p.Providers,
+		ReplDeg:   p.ReplDeg,
+		Provider:  pcfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	clock := env.Clock()
+
+	// Populate the dataset and wait for full replication.
+	files := make([]string, p.Files)
+	for i := range files {
+		files[i] = fmt.Sprintf("/fig13-%03d", i)
+	}
+	popMounts := make([]fsapi.System, 8)
+	for i := range popMounts {
+		if popMounts[i], err = env.NewFS(defaultAttrs(p.ReplDeg)); err != nil {
+			return nil, err
+		}
+	}
+	fileSize := p.Scale.Bytes(p.FileSize)
+	if err := prepopulate(popMounts, files, fileSize, p.Scale.Bytes(p.ReqSize)); err != nil {
+		return nil, err
+	}
+	segsPerReplica := env.Cluster.TotalReplicaCount
+	wantReplicas := expectedReplicaCount(env, files, popMounts[0])
+	deadline := clock.Now() + p.RecoveryWait
+	for segsPerReplica() < wantReplicas {
+		if clock.Now() > deadline {
+			return nil, fmt.Errorf("fig13: initial replication stalled at %d/%d", segsPerReplica(), wantReplicas)
+		}
+		clock.Sleep(5 * time.Second)
+	}
+
+	// Background workload.
+	var series stats.TimeSeries
+	var transferred stats.Counter
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	launch := func(id int, write bool) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fs := popMounts[id%len(popMounts)]
+			rng := rand.New(rand.NewSource(int64(id + 7)))
+			buf := make([]byte, p.Scale.Bytes(p.ReqSize))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				path := files[rng.Intn(len(files))]
+				off := rng.Int63n(maxI64(fileSize-int64(len(buf)), 1))
+				if write {
+					f, err := fs.OpenWrite(path)
+					if err != nil {
+						continue
+					}
+					if _, err := f.WriteAt(buf, off); err == nil {
+						transferred.Add(int64(len(buf)))
+					}
+					f.Close()
+				} else {
+					f, err := fs.Open(path)
+					if err != nil {
+						continue
+					}
+					if n, err := f.ReadAt(buf, off); err == nil || err == io.EOF {
+						transferred.Add(int64(n))
+					}
+					f.Close()
+				}
+				// ~50% duty cycle keeps the system at half capacity.
+				clock.Sleep(time.Duration(float64(time.Second) * 0.15))
+			}
+		}()
+	}
+	for i := 0; i < p.Readers; i++ {
+		launch(i, false)
+	}
+	for i := 0; i < p.Writers; i++ {
+		launch(p.Readers+i, true)
+	}
+
+	// Sampler: every 3 seconds, log the rate.
+	origin := clock.Now()
+	samplerStop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := clock.NewTicker(3 * time.Second)
+		defer t.Stop()
+		last := int64(0)
+		lastAt := clock.Now()
+		for {
+			select {
+			case <-samplerStop:
+				return
+			case <-t.C:
+				now := clock.Now()
+				cur := transferred.Total()
+				dt := (now - lastAt).Seconds()
+				if dt > 0 {
+					series.Add(now-origin, p.Scale.Rate(float64(cur-last)/dt/1e6))
+				}
+				last, lastAt = cur, now
+			}
+		}
+	}()
+
+	replicasBefore := segsPerReplica()
+
+	// Fault injection.
+	clock.Sleep(p.FailAt)
+	victim := cluster.ProviderID(1)
+	if err := env.Cluster.KillProvider(victim); err != nil {
+		return nil, err
+	}
+	failTime := clock.Now()
+	clock.Sleep(p.JoinAt - p.FailAt)
+	if _, err := env.Cluster.AddProvider(wire.NodeID("pnew")); err != nil {
+		return nil, err
+	}
+	clock.Sleep(p.RunFor - p.JoinAt)
+	close(stop)
+	close(samplerStop)
+	wg.Wait()
+
+	// Watch recovery to full replication.
+	res := &Fig13Result{Series: series.Bucketed(3 * time.Second), ReplicasBefore: replicasBefore}
+	res.RecoverySec = -1
+	recoveryDeadline := clock.Now() + p.RecoveryWait
+	for {
+		if segsPerReplica() >= wantReplicas {
+			res.RecoverySec = (clock.Now() - failTime).Seconds()
+			break
+		}
+		if clock.Now() > recoveryDeadline {
+			break
+		}
+		clock.Sleep(10 * time.Second)
+	}
+	res.ReplicasAfter = segsPerReplica()
+
+	// Summaries from the timeline.
+	var pre, dip, post stats.Summary
+	for _, pt := range res.Series {
+		switch {
+		case pt.T < p.FailAt:
+			pre.Add(pt.V)
+		case pt.T < p.FailAt+9*time.Second:
+			dip.Add(pt.V)
+		case pt.T > p.JoinAt+15*time.Second:
+			post.Add(pt.V)
+		}
+	}
+	res.BaselineMBs = pre.Mean()
+	if dip.N() > 0 {
+		res.DipMBs = dip.Min()
+	}
+	res.RecoveredMBs = post.Mean()
+	return res, nil
+}
+
+// expectedReplicaCount computes how many committed segment replicas full
+// replication implies: every segment (index + data) × ReplDeg.
+func expectedReplicaCount(env *SorrentoEnv, files []string, anyMount fsapi.System) int {
+	// Count distinct committed segments currently in the cluster and scale
+	// by the replication degree: after population each segment has ≥1 copy.
+	distinct := make(map[string]bool)
+	for _, p := range env.Cluster.Providers() {
+		for _, seg := range p.Store().Segments() {
+			distinct[string(seg[:])] = true
+		}
+	}
+	return len(distinct) * env.ReplDeg
+}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/fsapi"
+	"repro/internal/simtime"
+	"repro/internal/wire"
+)
+
+// Fig9Params configure the small-file response-time table (§4.1.1): a
+// single client issues sequential create / write-12KB / read / unlink
+// requests against an otherwise idle system.
+type Fig9Params struct {
+	Scale Scale
+	// Ops is the number of files per phase.
+	Ops int
+	// WriteSize is the per-file payload (paper: 12 KB).
+	WriteSize int64
+	// Systems filters which deployments run (nil = all seven variants).
+	Systems []string
+}
+
+func (p Fig9Params) withDefaults() Fig9Params {
+	if p.Scale.Time <= 0 {
+		p.Scale.Time = 0.1
+	}
+	p.Scale.Data = 1 // small ops are not data-scaled
+	if p.Ops <= 0 {
+		p.Ops = 30
+	}
+	if p.WriteSize <= 0 {
+		p.WriteSize = 12 << 10
+	}
+	if p.Systems == nil {
+		p.Systems = []string{"nfs", "pvfs-4", "pvfs-8",
+			"sorrento-(4,1)", "sorrento-(4,2)", "sorrento-(8,1)", "sorrento-(8,2)"}
+	}
+	return p
+}
+
+// Fig9Row is one system's latencies in milliseconds.
+type Fig9Row struct {
+	System   string
+	CreateMs float64
+	WriteMs  float64
+	ReadMs   float64
+	UnlinkMs float64
+}
+
+// Fig9Result is the regenerated table.
+type Fig9Result struct {
+	Rows []Fig9Row
+}
+
+// Report prints the table in the paper's layout.
+func (r *Fig9Result) Report(w io.Writer) {
+	fmt.Fprintf(w, "Figure 9: small file I/O request response time (ms)\n")
+	fmt.Fprintf(w, "%-16s %8s %8s %8s %8s\n", "system", "create", "write", "read", "unlink")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-16s %8.2f %8.2f %8.2f %8.2f\n",
+			row.System, row.CreateMs, row.WriteMs, row.ReadMs, row.UnlinkMs)
+	}
+}
+
+// RunFig9 regenerates the Figure 9 table.
+func RunFig9(p Fig9Params) (*Fig9Result, error) {
+	p = p.withDefaults()
+	res := &Fig9Result{}
+	for _, sys := range p.Systems {
+		fs, clock, cleanup, err := buildSystem(sys, p.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s: %w", sys, err)
+		}
+		row, err := fig9Phases(fs, clock, p)
+		cleanup()
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s: %w", sys, err)
+		}
+		row.System = sys
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// buildSystem instantiates one of the named deployments and returns a
+// client mount.
+func buildSystem(name string, scale Scale) (fsapi.System, *simtime.Clock, func(), error) {
+	switch name {
+	case "nfs":
+		env, err := NewNFS(scale)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		fs, err := env.NewFS()
+		return fs, env.Clock(), env.Close, err
+	case "pvfs-4", "pvfs-8":
+		iods := 4
+		if name == "pvfs-8" {
+			iods = 8
+		}
+		env, err := NewPVFS(scale, iods)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		fs, err := env.NewFS()
+		return fs, env.Clock(), env.Close, err
+	default:
+		var n, r int
+		if _, err := fmt.Sscanf(name, "sorrento-(%d,%d)", &n, &r); err != nil {
+			return nil, nil, nil, fmt.Errorf("bench: unknown system %q", name)
+		}
+		env, err := NewSorrento(scale, SorrentoOptions{Providers: n, ReplDeg: r})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		fs, err := env.NewFS(wire.FileAttrs{ReplDeg: r, Alpha: 0.5})
+		return fs, env.Clock(), env.Close, err
+	}
+}
+
+func fig9Phases(fs fsapi.System, clock *simtime.Clock, p Fig9Params) (Fig9Row, error) {
+	var row Fig9Row
+	paths := make([]string, p.Ops)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/fig9-%04d", i)
+	}
+	payload := make([]byte, p.WriteSize)
+
+	meanMs := func(fn func(path string) error) (float64, error) {
+		var total time.Duration
+		for _, path := range paths {
+			sw := clock.Start()
+			if err := fn(path); err != nil {
+				return 0, err
+			}
+			total += sw.Elapsed()
+		}
+		return total.Seconds() * 1000 / float64(len(paths)), nil
+	}
+
+	var err error
+	if row.CreateMs, err = meanMs(func(path string) error {
+		f, cerr := fs.Create(path)
+		if cerr != nil {
+			return cerr
+		}
+		return f.Close()
+	}); err != nil {
+		return row, fmt.Errorf("create: %w", err)
+	}
+	if row.WriteMs, err = meanMs(func(path string) error {
+		f, oerr := fs.OpenWrite(path)
+		if oerr != nil {
+			return oerr
+		}
+		if _, werr := f.WriteAt(payload, 0); werr != nil {
+			return werr
+		}
+		return f.Close()
+	}); err != nil {
+		return row, fmt.Errorf("write: %w", err)
+	}
+	if row.ReadMs, err = meanMs(func(path string) error {
+		f, oerr := fs.Open(path)
+		if oerr != nil {
+			return oerr
+		}
+		if _, rerr := f.ReadAt(payload, 0); rerr != nil && rerr != io.EOF {
+			return rerr
+		}
+		return f.Close()
+	}); err != nil {
+		return row, fmt.Errorf("read: %w", err)
+	}
+	// Let lazy replication settle so unlink measures eager removal of the
+	// full replica set, as in the paper's steady state.
+	clock.Sleep(20 * time.Second)
+	if row.UnlinkMs, err = meanMs(fs.Remove); err != nil {
+		return row, fmt.Errorf("unlink: %w", err)
+	}
+	return row, nil
+}

@@ -1,0 +1,133 @@
+// Package chash implements the consistent hashing ring Sorrento uses to map
+// SegIDs to home hosts (paper §3.4.1). Unlike Chord, every Sorrento client
+// has the complete membership view, so lookups are a local ring walk rather
+// than log N network hops. Virtual nodes smooth the key distribution.
+package chash
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per physical node. 64 keeps the
+// per-node key share within a few percent of uniform for small clusters.
+const DefaultVnodes = 64
+
+type ringEntry struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over a set of node names.
+// Build a new Ring whenever membership changes; construction is cheap
+// relative to membership-change frequency and immutability makes concurrent
+// lookups free of locks.
+type Ring struct {
+	entries []ringEntry
+	nodes   []string
+	vnodes  int
+}
+
+// New builds a ring over nodes with DefaultVnodes virtual nodes each.
+func New(nodes []string) *Ring { return NewWithVnodes(nodes, DefaultVnodes) }
+
+// NewWithVnodes builds a ring with an explicit virtual-node count.
+func NewWithVnodes(nodes []string, vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &Ring{
+		entries: make([]ringEntry, 0, len(nodes)*vnodes),
+		nodes:   append([]string(nil), nodes...),
+		vnodes:  vnodes,
+	}
+	sort.Strings(r.nodes)
+	for _, n := range r.nodes {
+		for v := 0; v < vnodes; v++ {
+			r.entries = append(r.entries, ringEntry{hash: vnodeHash(n, v), node: n})
+		}
+	}
+	sort.Slice(r.entries, func(i, j int) bool {
+		a, b := r.entries[i], r.entries[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.node < b.node
+	})
+	return r
+}
+
+// Nodes returns the sorted node set the ring was built over.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len returns the number of physical nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Lookup returns the home host for key, or "" when the ring is empty.
+func (r *Ring) Lookup(key []byte) string {
+	if len(r.entries) == 0 {
+		return ""
+	}
+	return r.entries[r.search(keyHash(key))].node
+}
+
+// LookupN returns up to n distinct nodes encountered walking clockwise from
+// key's position: the home host first, then natural fallbacks. It is used to
+// pick distinct replica sites deterministically in tests.
+func (r *Ring) LookupN(key []byte, n int) []string {
+	if len(r.entries) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	i := r.search(keyHash(key))
+	for len(out) < n {
+		e := r.entries[i%len(r.entries)]
+		if !seen[e.node] {
+			seen[e.node] = true
+			out = append(out, e.node)
+		}
+		i++
+	}
+	return out
+}
+
+// search returns the index of the first entry with hash >= h, wrapping.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].hash >= h })
+	if i == len(r.entries) {
+		return 0
+	}
+	return i
+}
+
+func keyHash(key []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	return mix64(h.Sum64())
+}
+
+func vnodeHash(node string, v int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(v))
+	h.Write(b[:])
+	return mix64(h.Sum64())
+}
+
+// mix64 is the murmur3 finalizer. FNV alone has poor high-bit avalanche on
+// short inputs, which clusters a node's virtual nodes into contiguous ring
+// arcs; the finalizer restores a uniform spread.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,172 @@
+package chash
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func nodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%02d", i)
+	}
+	return out
+}
+
+func keys(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("key-%d", i))
+	}
+	return out
+}
+
+func TestLookupEmptyRing(t *testing.T) {
+	r := New(nil)
+	if got := r.Lookup([]byte("x")); got != "" {
+		t.Errorf("Lookup on empty ring = %q", got)
+	}
+	if got := r.LookupN([]byte("x"), 3); got != nil {
+		t.Errorf("LookupN on empty ring = %v", got)
+	}
+}
+
+func TestLookupDeterministic(t *testing.T) {
+	r := New(nodes(8))
+	for _, k := range keys(100) {
+		a, b := r.Lookup(k), r.Lookup(k)
+		if a != b {
+			t.Fatalf("Lookup(%q) nondeterministic: %q vs %q", k, a, b)
+		}
+	}
+}
+
+func TestLookupIndependentOfInsertionOrder(t *testing.T) {
+	fwd := nodes(8)
+	rev := make([]string, len(fwd))
+	for i, n := range fwd {
+		rev[len(fwd)-1-i] = n
+	}
+	a, b := New(fwd), New(rev)
+	for _, k := range keys(200) {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("order-dependent mapping for %q", k)
+		}
+	}
+}
+
+func TestDistributionRoughlyUniform(t *testing.T) {
+	r := New(nodes(8))
+	counts := make(map[string]int)
+	const total = 8000
+	for i := 0; i < total; i++ {
+		counts[r.Lookup([]byte(fmt.Sprintf("seg-%d", i)))]++
+	}
+	want := total / 8
+	for n, c := range counts {
+		if c < want/3 || c > want*3 {
+			t.Errorf("node %s got %d keys, want within [%d,%d]", n, c, want/3, want*3)
+		}
+	}
+	if len(counts) != 8 {
+		t.Errorf("only %d nodes received keys", len(counts))
+	}
+}
+
+func TestMinimalDisruptionOnNodeRemoval(t *testing.T) {
+	// Consistent hashing's defining property: removing one node only remaps
+	// the keys that lived on it.
+	all := nodes(10)
+	before := New(all)
+	after := New(all[:9]) // drop node-09
+	moved := 0
+	const total = 5000
+	for i := 0; i < total; i++ {
+		k := []byte(fmt.Sprintf("seg-%d", i))
+		b, a := before.Lookup(k), after.Lookup(k)
+		if b != a {
+			moved++
+			if b != "node-09" {
+				t.Fatalf("key %q moved from surviving node %q to %q", k, b, a)
+			}
+		}
+	}
+	// Expect ~10% of keys to move; tolerate wide slack.
+	if moved < total/30 || moved > total/3 {
+		t.Errorf("moved %d/%d keys on single-node removal", moved, total)
+	}
+}
+
+func TestMinimalDisruptionOnNodeAddition(t *testing.T) {
+	before := New(nodes(9))
+	after := New(nodes(10))
+	const total = 5000
+	for i := 0; i < total; i++ {
+		k := []byte(fmt.Sprintf("seg-%d", i))
+		b, a := before.Lookup(k), after.Lookup(k)
+		if b != a && a != "node-09" {
+			t.Fatalf("key %q moved to %q (not the new node) on addition", k, a)
+		}
+	}
+}
+
+func TestLookupNDistinct(t *testing.T) {
+	r := New(nodes(6))
+	f := func(key []byte) bool {
+		got := r.LookupN(key, 3)
+		if len(got) != 3 {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, n := range got {
+			if seen[n] {
+				return false
+			}
+			seen[n] = true
+		}
+		return got[0] == r.Lookup(key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupNClamped(t *testing.T) {
+	r := New(nodes(3))
+	if got := r.LookupN([]byte("k"), 10); len(got) != 3 {
+		t.Errorf("LookupN(10) on 3 nodes returned %d", len(got))
+	}
+	if got := r.LookupN([]byte("k"), 0); got != nil {
+		t.Errorf("LookupN(0) = %v", got)
+	}
+}
+
+func TestSingleNodeRing(t *testing.T) {
+	r := New([]string{"only"})
+	for _, k := range keys(20) {
+		if got := r.Lookup(k); got != "only" {
+			t.Fatalf("Lookup = %q", got)
+		}
+	}
+}
+
+func TestNodesAccessors(t *testing.T) {
+	r := New([]string{"b", "a", "c"})
+	got := r.Nodes()
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("Nodes() = %v, want sorted [a b c]", got)
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	r := New(nodes(38))
+	ks := keys(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Lookup(ks[i%len(ks)])
+	}
+}

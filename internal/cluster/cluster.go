@@ -1,0 +1,287 @@
+// Package cluster assembles a complete in-process Sorrento deployment over
+// the simulated fabric: a namespace server, N storage providers, and any
+// number of clients. It is the harness every integration test, example, and
+// benchmark experiment builds on, and it provides the fault-injection hooks
+// (kill/add provider) that the self-organization experiments need.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/layout"
+	"repro/internal/namespace"
+	"repro/internal/provider"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// NamespaceNode is the namespace server's node ID in every cluster.
+const NamespaceNode wire.NodeID = "ns"
+
+// Options configure a cluster.
+type Options struct {
+	// Providers is the initial storage provider count.
+	Providers int
+	// Scale is the simtime compression (wall seconds per modeled second).
+	Scale float64
+	// Net is the fabric model (zero value = Fast Ethernet).
+	Net simnet.Config
+	// DiskModel is the drive model (zero value = 10K rpm SCSI).
+	DiskModel disk.Model
+	// DiskCapacity is each provider's exported capacity in bytes.
+	DiskCapacity int64
+	// Provider tunes the provider daemons.
+	Provider provider.Config
+	// Namespace tunes the namespace server.
+	Namespace namespace.Config
+	// Sizing is the segment sizing used by clients (zero = paper default).
+	Sizing layout.Sizing
+	// Heartbeat overrides the membership heartbeat interval for all nodes.
+	Heartbeat time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Providers == 0 {
+		o.Providers = 4
+	}
+	if o.Providers < 0 {
+		o.Providers = 0 // caller adds providers explicitly
+	}
+	if o.Scale <= 0 {
+		o.Scale = 0.001
+	}
+	if o.DiskModel.TransferRate == 0 {
+		o.DiskModel = disk.SCSI10K()
+	}
+	if o.DiskCapacity <= 0 {
+		o.DiskCapacity = 8 << 30
+	}
+	if o.Heartbeat > 0 {
+		o.Provider.Membership.HeartbeatInterval = o.Heartbeat
+	}
+	return o
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	opts   Options
+	Clock  *simtime.Clock
+	Fabric *simnet.Fabric
+	NS     *namespace.Server
+
+	providers map[wire.NodeID]*provider.Provider
+	clients   []*core.Client
+}
+
+// nsHandler adapts the namespace server to the transport.
+type nsHandler struct{ s *namespace.Server }
+
+func (h nsHandler) HandleCall(_ context.Context, _ wire.NodeID, req any) (any, error) {
+	return h.s.Handle(req)
+}
+func (h nsHandler) HandleCast(wire.NodeID, any) {}
+
+// New builds and starts a cluster.
+func New(opts Options) (*Cluster, error) {
+	opts = opts.withDefaults()
+	clock := simtime.NewClock(opts.Scale)
+	fabric := simnet.New(clock, opts.Net)
+	ns, err := namespace.NewServer(clock, opts.Namespace, nil)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fabric.Join(NamespaceNode, nsHandler{ns}); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		opts:      opts,
+		Clock:     clock,
+		Fabric:    fabric,
+		NS:        ns,
+		providers: make(map[wire.NodeID]*provider.Provider),
+	}
+	for i := 0; i < opts.Providers; i++ {
+		if _, err := c.AddProvider(ProviderID(i)); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// ProviderID names the i-th provider.
+func ProviderID(i int) wire.NodeID { return wire.NodeID(fmt.Sprintf("p%02d", i)) }
+
+// AddProvider joins a new storage provider (incremental expansion, §2.2).
+func (c *Cluster) AddProvider(id wire.NodeID) (*provider.Provider, error) {
+	return c.AddProviderCfg(id, nil)
+}
+
+// AddProviderCfg joins a provider with a per-node configuration tweak
+// (e.g. a rack label).
+func (c *Cluster) AddProviderCfg(id wire.NodeID, mutate func(*provider.Config)) (*provider.Provider, error) {
+	if _, exists := c.providers[id]; exists {
+		return nil, fmt.Errorf("cluster: provider %s exists", id)
+	}
+	cfg := c.opts.Provider
+	cfg.Seed = int64(len(c.providers) + 1)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d := disk.New(c.Clock, string(id), c.opts.DiskModel, c.opts.DiskCapacity)
+	p, err := provider.New(id, c.Clock, cfg, c.Fabric, d)
+	if err != nil {
+		return nil, err
+	}
+	p.Start()
+	c.providers[id] = p
+	return p, nil
+}
+
+// Provider returns a running provider by ID (nil when absent or killed).
+func (c *Cluster) Provider(id wire.NodeID) *provider.Provider { return c.providers[id] }
+
+// Providers returns the running providers.
+func (c *Cluster) Providers() map[wire.NodeID]*provider.Provider {
+	out := make(map[wire.NodeID]*provider.Provider, len(c.providers))
+	for id, p := range c.providers {
+		out[id] = p
+	}
+	return out
+}
+
+// KillProvider crashes a provider: it stops answering and its peers detect
+// the failure via missed heartbeats.
+func (c *Cluster) KillProvider(id wire.NodeID) error {
+	p, ok := c.providers[id]
+	if !ok {
+		return fmt.Errorf("cluster: no provider %s", id)
+	}
+	p.Kill()
+	delete(c.providers, id)
+	return nil
+}
+
+// NewClient attaches a client running on its own machine.
+func (c *Cluster) NewClient(name string) (*core.Client, error) {
+	return c.newClient(name, "")
+}
+
+// NewClientAt attaches a client co-located with a provider (shares its
+// NIC; local reads are free).
+func (c *Cluster) NewClientAt(name string, host wire.NodeID) (*core.Client, error) {
+	return c.newClient(name, host)
+}
+
+func (c *Cluster) newClient(name string, host wire.NodeID) (*core.Client, error) {
+	cfg := core.Config{
+		Namespace:  NamespaceNode,
+		Host:       host,
+		Sizing:     c.opts.Sizing,
+		Membership: c.opts.Provider.Membership,
+		Seed:       int64(len(c.clients) + 101),
+	}
+	// At heavy time compression, a "5 modeled minutes" shadow lease is only
+	// milliseconds of wall time — shorter than real scheduling noise. Floor
+	// the lease at a few wall seconds so leases only expire for modeled
+	// reasons.
+	if floor := c.Clock.Modeled(5 * time.Second); floor > 5*time.Minute {
+		cfg.ShadowTTL = floor
+	}
+	cl, err := core.NewClient(name, c.Clock, c.Fabric, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.clients = append(c.clients, cl)
+	return cl, nil
+}
+
+// AwaitStable blocks until every provider and client sees n live providers
+// (or the modeled timeout passes).
+func (c *Cluster) AwaitStable(n int, timeout time.Duration) error {
+	deadline := c.Clock.Now() + timeout
+	for {
+		ok := true
+		for _, p := range c.providers {
+			if p.Members().Len() < n {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, cl := range c.clients {
+				if cl.Members().Len() < n {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return nil
+		}
+		if c.Clock.Now() > deadline {
+			return fmt.Errorf("cluster: not stable at %d providers within %v", n, timeout)
+		}
+		c.Clock.Sleep(200 * time.Millisecond)
+	}
+}
+
+// Stop shuts everything down.
+func (c *Cluster) Stop() {
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	for _, p := range c.providers {
+		p.Stop()
+	}
+}
+
+// PendingRepairs sums the sync/repair actions outstanding across all
+// running providers' location tables.
+func (c *Cluster) PendingRepairs() int {
+	n := 0
+	for _, p := range c.providers {
+		n += len(p.Table().Scan(p.Members().IsLive))
+	}
+	return n
+}
+
+// AwaitQuiesce waits until no sync/repair work is outstanding (replicas
+// caught up) or the modeled timeout passes.
+func (c *Cluster) AwaitQuiesce(timeout time.Duration) error {
+	deadline := c.Clock.Now() + timeout
+	for c.PendingRepairs() > 0 {
+		if c.Clock.Now() > deadline {
+			return fmt.Errorf("cluster: %d repairs still pending after %v", c.PendingRepairs(), timeout)
+		}
+		c.Clock.Sleep(2 * time.Second)
+	}
+	return nil
+}
+
+// TotalReplicaCount sums the committed segment replicas across providers —
+// used to observe recovery progress in the failure experiment.
+func (c *Cluster) TotalReplicaCount() int {
+	n := 0
+	for _, p := range c.providers {
+		n += p.Store().Len()
+	}
+	return n
+}
+
+// StorageUsedFracs returns each running provider's storage utilization —
+// the metric of Figure 14.
+func (c *Cluster) StorageUsedFracs() map[wire.NodeID]float64 {
+	out := make(map[wire.NodeID]float64, len(c.providers))
+	for id, p := range c.providers {
+		out[id] = p.Store().Disk().UsedFrac()
+	}
+	return out
+}
+
+var _ transport.Handler = nsHandler{}

@@ -1,0 +1,425 @@
+// Package core is Sorrento's client library — the programming interface
+// applications use to access a volume (paper §2.3). It provides a
+// UNIX-flavored file API (Create/Open/ReadAt/WriteAt/Commit/Close) on top
+// of the versioned-consistency protocol: copy-on-write shadow segments,
+// two-phase commit across providers, commit-window arbitration at the
+// namespace server, and the extended per-file knobs (replication degree,
+// layout mode, placement α, locality-driven policy).
+//
+// A Client holds the complete view of the live providers via the membership
+// manager, so it resolves every SegID's home host locally and falls back to
+// the multicast probe only when the soft state is stale (§3.4.2).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/layout"
+	"repro/internal/membership"
+	"repro/internal/placement"
+	"repro/internal/simtime"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Client errors.
+var (
+	// ErrConflict reports a commit rejected because another process
+	// committed a newer version first (paper §3.5).
+	ErrConflict = errors.New("core: update conflict")
+	// ErrNotFound reports a missing path.
+	ErrNotFound = errors.New("core: file not found")
+	// ErrReadOnly reports a write on a read-only handle.
+	ErrReadOnly = errors.New("core: file opened read-only")
+	// ErrClosed reports use of a closed handle.
+	ErrClosed = errors.New("core: file closed")
+	// ErrNoProviders reports an empty live provider set.
+	ErrNoProviders = errors.New("core: no live storage providers")
+	// ErrUnlocatable reports a segment whose owners could not be found even
+	// via the multicast backup scheme.
+	ErrUnlocatable = errors.New("core: segment not locatable")
+)
+
+// Config tunes a client.
+type Config struct {
+	// Namespace is the namespace server's node ID.
+	Namespace wire.NodeID
+	// Host co-locates the client on an existing provider node (shares its
+	// NIC; reads/writes to that provider are local). Empty means the client
+	// runs on its own machine.
+	Host wire.NodeID
+	// ShadowTTL is the expiration granted to shadow copies.
+	ShadowTTL time.Duration
+	// ProbeTimeout bounds the multicast backup location scheme.
+	ProbeTimeout time.Duration
+	// CallTimeout bounds individual RPCs.
+	CallTimeout time.Duration
+	// Sizing overrides the segment sizing formula (zero value = paper's).
+	Sizing layout.Sizing
+	// Membership tunes the client's provider view.
+	Membership membership.Config
+	// Seed seeds placement decisions.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ShadowTTL <= 0 {
+		c.ShadowTTL = 5 * time.Minute
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 60 * time.Second
+	}
+	if c.Sizing.Unit == 0 {
+		c.Sizing = layout.DefaultSizing()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Client is one application's attachment to a Sorrento volume.
+type Client struct {
+	name    string
+	clock   *simtime.Clock
+	cfg     Config
+	ep      transport.Endpoint
+	members *membership.Manager
+	sel     *placement.Selector
+
+	sessSeq  atomic.Uint64
+	nonceSeq atomic.Uint64
+
+	mu     sync.Mutex
+	probes map[uint64]chan wire.LocProbeResp
+}
+
+// NewClient joins the network as node `name` and begins tracking provider
+// membership.
+func NewClient(name string, clock *simtime.Clock, network transport.Network, cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Namespace == "" {
+		return nil, fmt.Errorf("core: Config.Namespace required")
+	}
+	c := &Client{
+		name:    name,
+		clock:   clock,
+		cfg:     cfg,
+		members: membership.NewManager(clock, cfg.Membership),
+		sel:     placement.NewSelector(cfg.Seed),
+		probes:  make(map[uint64]chan wire.LocProbeResp),
+	}
+	var (
+		ep  transport.Endpoint
+		err error
+	)
+	if cfg.Host != "" {
+		ep, err = network.JoinAt(wire.NodeID(name), cfg.Host, clientHandler{c})
+	} else {
+		ep, err = network.Join(wire.NodeID(name), clientHandler{c})
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.ep = ep
+	c.members.Start()
+	return c, nil
+}
+
+// Close detaches the client.
+func (c *Client) Close() {
+	c.members.Stop()
+	c.ep.Close()
+}
+
+// Members exposes the client's provider view (used by experiments).
+func (c *Client) Members() *membership.Manager { return c.members }
+
+// clientHandler receives probe responses and heartbeats.
+type clientHandler struct{ c *Client }
+
+func (h clientHandler) HandleCall(_ context.Context, _ wire.NodeID, req any) (any, error) {
+	if pr, ok := req.(wire.LocProbeResp); ok {
+		h.c.mu.Lock()
+		ch := h.c.probes[pr.Nonce]
+		h.c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- pr:
+			default:
+			}
+		}
+		return wire.GenericResp{OK: true}, nil
+	}
+	return nil, transport.ErrNoHandler
+}
+
+func (h clientHandler) HandleCast(_ wire.NodeID, msg any) {
+	if hb, ok := msg.(wire.Heartbeat); ok {
+		h.c.members.ObserveHeartbeat(hb)
+	}
+}
+
+// call performs one RPC with the configured timeout.
+func (c *Client) call(to wire.NodeID, req any) (any, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+	defer cancel()
+	return c.ep.Call(ctx, to, req)
+}
+
+func (c *Client) ns(req any) (any, error) { return c.call(c.cfg.Namespace, req) }
+
+// WaitForProviders blocks until at least n providers are visible or the
+// (modeled) timeout elapses.
+func (c *Client) WaitForProviders(n int, timeout time.Duration) error {
+	deadline := c.clock.Now() + timeout
+	for c.members.Len() < n {
+		if c.clock.Now() > deadline {
+			return fmt.Errorf("core: only %d/%d providers visible", c.members.Len(), n)
+		}
+		c.clock.Sleep(100 * time.Millisecond)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Namespace operations
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(path string) error {
+	resp, err := c.ns(wire.NSMkdir{Path: path})
+	return nsErr(resp, err)
+}
+
+// Rmdir removes an empty directory.
+func (c *Client) Rmdir(path string) error {
+	resp, err := c.ns(wire.NSRmdir{Path: path})
+	return nsErr(resp, err)
+}
+
+// ReadDir lists a directory.
+func (c *Client) ReadDir(path string) ([]wire.DirEntry, error) {
+	resp, err := c.ns(wire.NSReadDir{Path: path})
+	if err != nil {
+		return nil, err
+	}
+	r, ok := resp.(wire.NSReadDirResp)
+	if !ok || !r.OK {
+		return nil, fmt.Errorf("core: readdir %s: %s", path, r.Err)
+	}
+	return r.Entries, nil
+}
+
+// Stat resolves a path to its file entry.
+func (c *Client) Stat(path string) (wire.FileEntry, error) {
+	resp, err := c.ns(wire.NSLookup{Path: path})
+	if err != nil {
+		return wire.FileEntry{}, err
+	}
+	r, ok := resp.(wire.NSLookupResp)
+	if !ok || !r.OK {
+		return wire.FileEntry{}, ErrNotFound
+	}
+	return r.Entry, nil
+}
+
+func nsErr(resp any, err error) error {
+	if err != nil {
+		return err
+	}
+	if r, ok := resp.(wire.NSGenericResp); ok {
+		if r.OK {
+			return nil
+		}
+		return errors.New("core: " + r.Err)
+	}
+	return fmt.Errorf("core: unexpected namespace response %T", resp)
+}
+
+// AcquireLease takes the file's write-lock lease for this client, letting
+// cooperating processes avoid commit conflicts (paper §3.5). It fails with
+// the current holder's name when the lease is taken.
+func (c *Client) AcquireLease(path string, ttl time.Duration) error {
+	resp, err := c.ns(wire.NSLeaseAcquire{Path: path, Owner: c.name, TTLSec: ttl.Seconds()})
+	if err != nil {
+		return err
+	}
+	r, ok := resp.(wire.NSLeaseAcquireResp)
+	if !ok {
+		return fmt.Errorf("core: unexpected lease response %T", resp)
+	}
+	if !r.OK {
+		return fmt.Errorf("core: lease on %s held by %s", path, r.Holder)
+	}
+	return nil
+}
+
+// ReleaseLease releases a lease held by this client.
+func (c *Client) ReleaseLease(path string) error {
+	resp, err := c.ns(wire.NSLeaseRelease{Path: path, Owner: c.name})
+	return nsErr(resp, err)
+}
+
+// SegmentsOf returns the SegIDs of a committed file's data segments (the
+// index segment excluded). Diagnostics and experiments use it to inspect
+// physical placement.
+func (c *Client) SegmentsOf(path string) ([]ids.SegID, error) {
+	entry, err := c.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if entry.Version == 0 {
+		return nil, nil
+	}
+	idx, _, err := c.fetchIndex(entry)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ids.SegID, 0, len(idx.Segs))
+	for _, ref := range idx.Segs {
+		out = append(out, ref.ID)
+	}
+	return out, nil
+}
+
+// Remove unlinks a file and eagerly deletes all replicas of its segments
+// (paper §4.1.1). Unlocatable segments are skipped; their location-table
+// entries age out.
+func (c *Client) Remove(path string) error {
+	entry, err := c.Stat(path)
+	if err != nil {
+		return err
+	}
+	var segs []ids.SegID
+	if entry.Version > 0 {
+		idx, _, ierr := c.fetchIndex(entry)
+		if ierr == nil && idx != nil {
+			for _, ref := range idx.Segs {
+				segs = append(segs, ref.ID)
+			}
+		}
+		segs = append(segs, entry.FileID)
+	}
+	resp, err := c.ns(wire.NSRemove{Path: path})
+	if err != nil {
+		return err
+	}
+	if r, ok := resp.(wire.NSRemoveResp); !ok || !r.OK {
+		return fmt.Errorf("core: remove %s: %s", path, r.Err)
+	}
+	// Eager removal (paper §4.1.1): every replica of every segment is
+	// deleted before Remove returns, one replica at a time — which is why
+	// unlink latency grows with the replication degree in Figure 9.
+	for _, seg := range segs {
+		owners, lerr := c.locate(seg)
+		if lerr != nil {
+			continue
+		}
+		for _, o := range owners {
+			c.call(o.Node, wire.SegDelete{Seg: seg})
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Data location (paper §3.4)
+
+// locate returns a segment's owners: home host first, multicast probe as
+// the backup scheme.
+func (c *Client) locate(seg ids.SegID) ([]wire.OwnerInfo, error) {
+	if home := c.members.HomeOf(seg); home != "" {
+		resp, err := c.call(home, wire.LocQuery{Seg: seg})
+		if err == nil {
+			if r, ok := resp.(wire.LocQueryResp); ok && r.OK && len(r.Owners) > 0 {
+				return r.Owners, nil
+			}
+		}
+	}
+	return c.probe(seg)
+}
+
+// probe issues the multicast backup query (paper §3.4.2) and collects the
+// first answer.
+func (c *Client) probe(seg ids.SegID) ([]wire.OwnerInfo, error) {
+	nonce := c.nonceSeq.Add(1)
+	ch := make(chan wire.LocProbeResp, 8)
+	c.mu.Lock()
+	c.probes[nonce] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.probes, nonce)
+		c.mu.Unlock()
+	}()
+	c.ep.Multicast(wire.LocProbe{Seg: seg, Asker: c.ep.ID(), Nonce: nonce})
+	// At compressed time scales the modeled timeout can shrink below real
+	// scheduling noise; floor it at ~50 ms of wall time.
+	probeWait := c.cfg.ProbeTimeout
+	if floor := c.clock.Modeled(50 * time.Millisecond); floor > probeWait {
+		probeWait = floor
+	}
+	timeout := c.clock.After(probeWait)
+	select {
+	case pr := <-ch:
+		// The first owner answers the query; any further responses drain
+		// into the buffered channel and are discarded. Waiting to collect
+		// more would add a full think-time to every backup lookup.
+		owners := []wire.OwnerInfo{{Node: pr.Owner, Version: pr.Version}}
+		for {
+			select {
+			case pr2 := <-ch:
+				owners = append(owners, wire.OwnerInfo{Node: pr2.Owner, Version: pr2.Version})
+			default:
+				return owners, nil
+			}
+		}
+	case <-timeout:
+		return nil, fmt.Errorf("%w: probe for %s got no answers", ErrUnlocatable, seg.Short())
+	}
+}
+
+// candidates snapshots live providers for placement.
+func (c *Client) candidates() []placement.Candidate {
+	loads := c.members.Loads()
+	out := make([]placement.Candidate, 0, len(loads))
+	for node, l := range loads {
+		out = append(out, placement.Candidate{Node: node, Load: l.Load, FreeBytes: l.FreeBytes})
+	}
+	return out
+}
+
+// place chooses a provider for a new segment per the file's policy.
+func (c *Client) place(attrs wire.FileAttrs, segSize int64, home wire.NodeID, small bool, exclude map[wire.NodeID]bool) (wire.NodeID, error) {
+	cands := c.candidates()
+	if len(cands) == 0 {
+		return "", ErrNoProviders
+	}
+	switch attrs.Policy {
+	case wire.PlaceRandom:
+		return c.sel.ChooseUniform(cands, exclude)
+	case wire.PlaceLocal:
+		host := c.ep.Host()
+		if host != wire.NodeID(c.name) && c.members.IsLive(host) && !exclude[host] {
+			return host, nil
+		}
+		fallthrough
+	default:
+		return c.sel.Choose(cands, placement.Options{
+			Alpha:        attrs.Alpha,
+			SegSize:      segSize,
+			Exclude:      exclude,
+			Home:         home,
+			SmallSegment: small,
+		})
+	}
+}

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// CommitOptions tune a commit.
+type CommitOptions struct {
+	// Sync waits until every replica of the committed segments has caught
+	// up before returning (the synchronous-commitment option, paper §3.6).
+	// The default lazy mode lets update propagation run in the background.
+	Sync bool
+}
+
+// Commit atomically publishes the session's changes as the file's next
+// version (paper §3.5, Figure 6): the namespace server approves the commit
+// window (detecting conflicts by base version), the modified segments and
+// the rewritten index segment commit via two-phase commitment, and the
+// namespace records the new version.
+func (f *File) Commit(opts CommitOptions) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	if !f.writable {
+		f.mu.Unlock()
+		return ErrReadOnly
+	}
+	if f.attrs.VersioningOff {
+		f.mu.Unlock()
+		return nil // direct files have no versions to commit
+	}
+	if !f.indexDirty && len(f.dirty) == 0 && f.baseVer > 0 {
+		f.mu.Unlock()
+		return nil // nothing to publish
+	}
+	// A never-committed file publishes version 1 even when empty, so a
+	// create/close pair leaves a committed (empty) file behind.
+	f.mu.Unlock()
+
+	// Snapshot the segments this commit touches (for the synchronous
+	// propagation option).
+	f.mu.Lock()
+	touched := make([]ids.SegID, 0, len(f.dirty)+1)
+	for seg := range f.dirty {
+		touched = append(touched, seg)
+	}
+	touched = append(touched, f.entry.FileID)
+	f.mu.Unlock()
+
+	// (7) Ask the namespace server for commit approval.
+	begin, err := f.commitBegin()
+	if err != nil {
+		return err
+	}
+
+	if err := f.commitBody(begin); err != nil {
+		// Roll everything back: prepared shadows and the commit window.
+		f.abortAll()
+		f.c.ns(wire.NSCommitAbort{FileID: f.entry.FileID, Path: f.path, Ticket: begin.Ticket})
+		return err
+	}
+	if opts.Sync {
+		f.syncReplicas(touched)
+	}
+	return nil
+}
+
+func (f *File) commitBegin() (wire.NSCommitBeginResp, error) {
+	for {
+		resp, err := f.c.ns(wire.NSCommitBegin{FileID: f.entry.FileID, Path: f.path, BaseVer: f.baseVer})
+		if err != nil {
+			return wire.NSCommitBeginResp{}, err
+		}
+		r, ok := resp.(wire.NSCommitBeginResp)
+		if !ok {
+			return wire.NSCommitBeginResp{}, fmt.Errorf("core: unexpected commit response %T", resp)
+		}
+		switch {
+		case r.OK:
+			return r, nil
+		case r.Conflict:
+			return r, ErrConflict
+		case r.Blocked:
+			// Another process holds the commit window; wait briefly.
+			f.c.clock.Sleep(f.c.cfg.ProbeTimeout / 4)
+		default:
+			return r, fmt.Errorf("core: commit begin rejected for %s", f.path)
+		}
+	}
+}
+
+// commitBody runs steps (8)–(9): prepare data shadows, rewrite the index
+// shadow, prepare it, commit everything, and complete at the namespace.
+func (f *File) commitBody(begin wire.NSCommitBeginResp) error {
+	// Group dirty data segments by their shadow's provider.
+	f.mu.Lock()
+	byNode := make(map[wire.NodeID][]ids.SegID)
+	for seg, d := range f.dirty {
+		byNode[d.node] = append(byNode[d.node], seg)
+	}
+	f.mu.Unlock()
+	nodes := make([]wire.NodeID, 0, len(byNode))
+	for n := range byNode {
+		sort.Slice(byNode[n], func(i, j int) bool { return byNode[n][i].Less(byNode[n][j]) })
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	// Phase one on data segments: learn the versions they will commit as.
+	planned := make(map[ids.SegID]struct {
+		ver  uint64
+		size int64
+	})
+	for _, node := range nodes {
+		segs := byNode[node]
+		resp, err := f.c.call(node, wire.Prepare2PC{Owner: f.owner, Segs: segs})
+		if err != nil {
+			return err
+		}
+		r, ok := resp.(wire.Prepare2PCResp)
+		if !ok || !r.OK {
+			return fmt.Errorf("core: prepare on %s: %s", node, r.Err)
+		}
+		for i, seg := range segs {
+			planned[seg] = struct {
+				ver  uint64
+				size int64
+			}{r.PlannedVers[i], r.Sizes[i]}
+		}
+	}
+
+	// Fold the planned versions into the index and write its shadow.
+	f.mu.Lock()
+	for i := range f.idx.Segs {
+		if pl, ok := planned[f.idx.Segs[i].ID]; ok {
+			f.idx.Segs[i].Version = pl.ver
+			if pl.size > f.idx.Segs[i].Size {
+				f.idx.Segs[i].Size = pl.size
+			}
+		}
+	}
+	encoded, err := f.idx.Encode()
+	size := f.idx.Size
+	if f.idx.IsAttached() {
+		size = int64(len(f.idx.Attached))
+	}
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	indexNode, err := f.writeIndexShadow(encoded)
+	if err != nil {
+		return err
+	}
+
+	// Phase one on the index segment: its planned version is the file's
+	// next version.
+	resp, err := f.c.call(indexNode, wire.Prepare2PC{Owner: f.owner, Segs: []ids.SegID{f.entry.FileID}})
+	if err != nil {
+		return err
+	}
+	pr, ok := resp.(wire.Prepare2PCResp)
+	if !ok || !pr.OK {
+		return fmt.Errorf("core: prepare index on %s: %s", indexNode, pr.Err)
+	}
+	newVer := pr.PlannedVers[0]
+
+	// Phase two everywhere.
+	for _, node := range nodes {
+		resp, err := f.c.call(node, wire.Commit2PC{Owner: f.owner, Segs: byNode[node]})
+		if err != nil {
+			return err
+		}
+		if r, ok := resp.(wire.GenericResp); !ok || !r.OK {
+			return fmt.Errorf("core: commit on %s: %s", node, r.Err)
+		}
+	}
+	resp, err = f.c.call(indexNode, wire.Commit2PC{Owner: f.owner, Segs: []ids.SegID{f.entry.FileID}})
+	if err != nil {
+		return err
+	}
+	if r, ok := resp.(wire.GenericResp); !ok || !r.OK {
+		return fmt.Errorf("core: commit index on %s: %s", indexNode, r.Err)
+	}
+
+	// (9) Complete at the namespace server.
+	cresp, err := f.c.ns(wire.NSCommitComplete{
+		FileID: f.entry.FileID, Path: f.path, NewVer: newVer,
+		Ticket: begin.Ticket, NewSize: size,
+	})
+	if err != nil {
+		return err
+	}
+	if r, ok := cresp.(wire.NSGenericResp); !ok || !r.OK {
+		return fmt.Errorf("core: commit complete: %s", r.Err)
+	}
+
+	// Session state rolls forward onto the new version.
+	f.mu.Lock()
+	f.baseVer = newVer
+	f.entry.Version = newVer
+	f.dirty = make(map[ids.SegID]*dirtySeg)
+	f.indexDirty = false
+	f.owners = make(map[ids.SegID][]wire.OwnerInfo)
+	f.mu.Unlock()
+	return nil
+}
+
+// writeIndexShadow places (on first commit) or shadows the index segment
+// and rewrites its content.
+func (f *File) writeIndexShadow(encoded []byte) (wire.NodeID, error) {
+	fid := f.entry.FileID
+	f.mu.Lock()
+	d := f.dirty[fid]
+	f.mu.Unlock()
+	var node wire.NodeID
+	if d != nil {
+		node = d.node
+	} else {
+		if f.baseVer == 0 {
+			// First commit: place the index segment. Index segments are
+			// small, so the home host gets the 3N bias (paper §3.7.2).
+			home := f.c.members.HomeOf(fid)
+			n, err := f.c.place(f.attrs, int64(len(encoded)), home, true, nil)
+			if err != nil {
+				return "", err
+			}
+			node = n
+		} else {
+			owners, err := f.segOwners(fid)
+			if err != nil {
+				return "", err
+			}
+			node = orderOwners(owners, f.c.ep.Host())[0].Node
+		}
+		resp, err := f.c.call(node, wire.SegShadow{
+			Owner:             f.owner,
+			Seg:               fid,
+			BaseVer:           0,
+			TTLSec:            f.c.cfg.ShadowTTL.Seconds(),
+			ReplDeg:           f.attrs.ReplDeg,
+			LocalityThreshold: 0, // index segments follow reads, not locality policy
+		})
+		if err != nil {
+			return "", err
+		}
+		if r, ok := resp.(wire.SegShadowResp); !ok || !r.OK {
+			return "", fmt.Errorf("core: index shadow on %s: %s", node, r.Err)
+		}
+		f.mu.Lock()
+		f.dirty[fid] = &dirtySeg{node: node, isNew: f.baseVer == 0}
+		f.mu.Unlock()
+	}
+	resp, err := f.c.call(node, wire.SegWrite{Owner: f.owner, Seg: fid, Offset: 0, Data: encoded})
+	if err != nil {
+		return "", err
+	}
+	if r, ok := resp.(wire.SegWriteResp); !ok || !r.OK {
+		return "", fmt.Errorf("core: index write: %s", r.Err)
+	}
+	resp, err = f.c.call(node, wire.SegTruncate{Owner: f.owner, Seg: fid, Size: int64(len(encoded))})
+	if err != nil {
+		return "", err
+	}
+	if r, ok := resp.(wire.GenericResp); !ok || !r.OK {
+		return "", fmt.Errorf("core: index truncate: %s", r.Err)
+	}
+	return node, nil
+}
+
+// abortAll rolls back every open shadow of the session.
+func (f *File) abortAll() {
+	f.mu.Lock()
+	byNode := make(map[wire.NodeID][]ids.SegID)
+	for seg, d := range f.dirty {
+		byNode[d.node] = append(byNode[d.node], seg)
+	}
+	f.dirty = make(map[ids.SegID]*dirtySeg)
+	f.indexDirty = false
+	f.mu.Unlock()
+	for node, segs := range byNode {
+		f.c.call(node, wire.Abort2PC{Owner: f.owner, Segs: segs})
+	}
+}
+
+// syncReplicas pushes the just-committed versions of the touched segments
+// to stale replicas and waits — the synchronous commitment option
+// (paper §3.6).
+func (f *File) syncReplicas(refs []ids.SegID) {
+	for _, seg := range refs {
+		owners, err := f.c.locate(seg)
+		if err != nil {
+			continue
+		}
+		var latest uint64
+		var source wire.NodeID
+		for _, o := range owners {
+			if o.Version > latest {
+				latest, source = o.Version, o.Node
+			}
+		}
+		for _, o := range owners {
+			if o.Version < latest {
+				f.c.call(o.Node, wire.SyncNotify{Seg: seg, Version: latest, Source: source})
+			}
+		}
+	}
+}
+
+// Drop discards the session's uncommitted changes (Figure 4's conflict
+// path).
+func (f *File) Drop() {
+	f.abortAll()
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+}
+
+// Close commits pending changes (the implicit commit on close, §3.5) and
+// invalidates the handle.
+func (f *File) Close() error {
+	err := func() error {
+		f.mu.Lock()
+		writable := f.writable && !f.closed
+		f.mu.Unlock()
+		if !writable {
+			return nil
+		}
+		return f.Commit(CommitOptions{})
+	}()
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	return err
+}
+
+// Sync commits pending changes and keeps the handle open for further
+// writes based on the new version (a sync call creates a fresh shadow
+// session, §3.5).
+func (f *File) Sync() error {
+	return f.Commit(CommitOptions{})
+}
+
+// AtomicAppend appends a record to a file with retry-on-conflict — the
+// application-level primitive of Figure 4.
+func (c *Client) AtomicAppend(path string, record []byte) error {
+	for {
+		f, err := c.OpenWrite(path)
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteAt(record, f.Size()); err != nil {
+			f.Drop()
+			return err
+		}
+		err = f.Commit(CommitOptions{})
+		if err == nil {
+			f.mu.Lock()
+			f.closed = true
+			f.mu.Unlock()
+			return nil
+		}
+		f.Drop()
+		if !errors.Is(err, ErrConflict) {
+			return err
+		}
+		// Conflict: delete the shadow copy and retry (Figure 4).
+	}
+}

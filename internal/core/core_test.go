@@ -1,0 +1,100 @@
+package core
+
+// White-box unit tests for the client library's pure logic. The end-to-end
+// behaviour (commits, conflicts, replication) is covered by
+// internal/cluster's integration tests; these pin the local invariants.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{Namespace: "ns"}.withDefaults()
+	if c.ShadowTTL <= 0 || c.ProbeTimeout <= 0 || c.CallTimeout <= 0 {
+		t.Errorf("zero durations not defaulted: %+v", c)
+	}
+	if c.Sizing.Unit == 0 || c.Seed == 0 {
+		t.Errorf("sizing/seed not defaulted: %+v", c)
+	}
+	// Explicit values survive.
+	c2 := Config{Namespace: "ns", ShadowTTL: time.Hour, Seed: 42}.withDefaults()
+	if c2.ShadowTTL != time.Hour || c2.Seed != 42 {
+		t.Errorf("explicit values overridden: %+v", c2)
+	}
+}
+
+func TestOrderOwnersPrefersHost(t *testing.T) {
+	owners := []wire.OwnerInfo{
+		{Node: "p1", Version: 3},
+		{Node: "p2", Version: 3},
+		{Node: "p3", Version: 2},
+	}
+	got := orderOwners(owners, "p2")
+	if got[0].Node != "p2" {
+		t.Errorf("co-located owner not first: %v", got)
+	}
+	if len(got) != 3 {
+		t.Errorf("owners lost: %v", got)
+	}
+	// Without a host the order is preserved.
+	got = orderOwners(owners, "")
+	if got[0].Node != "p1" || got[2].Node != "p3" {
+		t.Errorf("order changed without host: %v", got)
+	}
+	// Host not among owners: order preserved.
+	got = orderOwners(owners, "elsewhere")
+	if got[0].Node != "p1" {
+		t.Errorf("order changed for absent host: %v", got)
+	}
+}
+
+func TestNsErr(t *testing.T) {
+	if err := nsErr(wire.NSGenericResp{OK: true}, nil); err != nil {
+		t.Errorf("ok response produced error %v", err)
+	}
+	if err := nsErr(wire.NSGenericResp{Err: "boom"}, nil); err == nil {
+		t.Error("error response produced nil")
+	}
+	if err := nsErr(nil, ErrNotFound); err != ErrNotFound {
+		t.Errorf("transport error not propagated: %v", err)
+	}
+	if err := nsErr("wat", nil); err == nil {
+		t.Error("unexpected response type accepted")
+	}
+}
+
+func TestNewClientRequiresNamespace(t *testing.T) {
+	if _, err := NewClient("c", nil, nil, Config{}); err == nil {
+		t.Fatal("client without namespace constructed")
+	}
+}
+
+func TestFSAdapterLabel(t *testing.T) {
+	fs := NewFS(nil, wire.FileAttrs{ReplDeg: 3}, "custom")
+	if fs.Name() != "custom" {
+		t.Errorf("Name = %q", fs.Name())
+	}
+	fs2 := NewFS(nil, wire.FileAttrs{}, "")
+	if fs2.Name() == "" {
+		t.Error("default label empty")
+	}
+	if fs2.attrs.ReplDeg != 1 {
+		t.Errorf("zero ReplDeg not defaulted: %d", fs2.attrs.ReplDeg)
+	}
+}
+
+func TestCommitOptionsZeroValueIsLazy(t *testing.T) {
+	var opts CommitOptions
+	if opts.Sync {
+		t.Error("zero CommitOptions must be lazy")
+	}
+}
+
+func TestMin64(t *testing.T) {
+	if min64(3, 5) != 3 || min64(5, 3) != 3 || min64(4, 4) != 4 {
+		t.Error("min64 wrong")
+	}
+}

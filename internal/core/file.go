@@ -1,0 +1,575 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/layout"
+	"repro/internal/wire"
+)
+
+// dirtySeg tracks an open shadow for one data segment of a write session.
+type dirtySeg struct {
+	node      wire.NodeID   // provider holding the shadow
+	isNew     bool          // no committed base version exists yet
+	renewedAt time.Duration // last lease grant (modeled clock)
+}
+
+// File is an open handle on a Sorrento file. A writable handle works on
+// shadow copies invisible to other processes until Commit (paper §3.5);
+// reads see the version current at open time plus the session's own writes.
+type File struct {
+	c        *Client
+	path     string
+	entry    wire.FileEntry
+	attrs    wire.FileAttrs
+	idx      *layout.Index
+	baseVer  uint64
+	writable bool
+	owner    string // shadow-session token
+
+	mu         sync.Mutex
+	dirty      map[ids.SegID]*dirtySeg
+	indexDirty bool
+	owners     map[ids.SegID][]wire.OwnerInfo // owner cache for reads
+	segHome    map[ids.SegID]wire.NodeID      // direct-mode owner pin
+	closed     bool
+}
+
+// Create registers a new file with the given attributes and returns a
+// writable handle at version 0 (no data committed yet). Versioning-off
+// files (attrs.VersioningOff) are materialized immediately: their segments
+// are placed and created, and the index commits as version 1.
+func (c *Client) Create(path string, attrs wire.FileAttrs) (*File, error) {
+	if attrs.ReplDeg <= 0 {
+		attrs.ReplDeg = 1
+	}
+	if attrs.VersioningOff {
+		// Replication depends on versioning (paper §3.5): disabling
+		// versioning disables replication.
+		attrs.ReplDeg = 1
+	}
+	fid := ids.New()
+	resp, err := c.ns(wire.NSCreate{Path: path, FileID: fid, Attrs: attrs})
+	if err != nil {
+		return nil, err
+	}
+	r, ok := resp.(wire.NSCreateResp)
+	if !ok || !r.OK {
+		return nil, fmt.Errorf("core: create %s: %s", path, r.Err)
+	}
+	idx, err := layout.NewIndex(attrs, c.cfg.Sizing, ids.New)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{
+		c:        c,
+		path:     path,
+		entry:    r.Entry,
+		attrs:    attrs,
+		idx:      idx,
+		writable: true,
+		owner:    fmt.Sprintf("%s#%d", c.name, c.sessSeq.Add(1)),
+		dirty:    make(map[ids.SegID]*dirtySeg),
+		owners:   make(map[ids.SegID][]wire.OwnerInfo),
+		segHome:  make(map[ids.SegID]wire.NodeID),
+	}
+	if attrs.VersioningOff {
+		if err := f.materializeDirect(); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Open returns a read-only handle on the file's latest committed version.
+func (c *Client) Open(path string) (*File, error) { return c.open(path, false, 0) }
+
+// OpenVersion returns a read-only handle on a specific committed version —
+// usable for any version still retained, including pinned milestones.
+func (c *Client) OpenVersion(path string, ver uint64) (*File, error) {
+	return c.open(path, false, ver)
+}
+
+// OpenWrite returns a writable handle: a shadow session based on the latest
+// committed version.
+func (c *Client) OpenWrite(path string) (*File, error) { return c.open(path, true, 0) }
+
+func (c *Client) open(path string, writable bool, ver uint64) (*File, error) {
+	entry, err := c.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if ver != 0 {
+		if writable {
+			return nil, fmt.Errorf("core: cannot open an old version for writing")
+		}
+		if ver > entry.Version {
+			return nil, fmt.Errorf("core: %s has no version %d (latest %d)", path, ver, entry.Version)
+		}
+		entry.Version = ver
+	}
+	f := &File{
+		c:        c,
+		path:     path,
+		entry:    entry,
+		attrs:    entry.Attrs,
+		baseVer:  entry.Version,
+		writable: writable,
+		owner:    fmt.Sprintf("%s#%d", c.name, c.sessSeq.Add(1)),
+		dirty:    make(map[ids.SegID]*dirtySeg),
+		owners:   make(map[ids.SegID][]wire.OwnerInfo),
+		segHome:  make(map[ids.SegID]wire.NodeID),
+	}
+	if entry.Attrs.VersioningOff {
+		f.writable = true // direct files are always writable in place
+	}
+	if entry.Version == 0 {
+		idx, ierr := layout.NewIndex(entry.Attrs, c.cfg.Sizing, ids.New)
+		if ierr != nil {
+			return nil, ierr
+		}
+		f.idx = idx
+		return f, nil
+	}
+	idx, srcOwners, err := c.fetchIndex(entry)
+	if err != nil {
+		return nil, err
+	}
+	f.idx = idx
+	f.owners[entry.FileID] = srcOwners
+	return f, nil
+}
+
+// fetchIndex retrieves and decodes the index segment for a committed file.
+func (c *Client) fetchIndex(entry wire.FileEntry) (*layout.Index, []wire.OwnerInfo, error) {
+	data, owners, err := c.readWhole(entry.FileID, entry.Version, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: fetch index of %s: %w", entry.Path, err)
+	}
+	idx, err := layout.Decode(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return idx, owners, nil
+}
+
+// readWhole fetches an entire segment version via SegFetch, using the
+// location protocol (home first, multicast backup).
+func (c *Client) readWhole(seg ids.SegID, ver uint64, cached []wire.OwnerInfo) ([]byte, []wire.OwnerInfo, error) {
+	owners := cached
+	if len(owners) == 0 {
+		var err error
+		owners, err = c.locate(seg)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	var lastErr error
+	for _, o := range orderOwners(owners, c.ep.Host()) {
+		resp, err := c.call(o.Node, wire.SegFetch{Seg: seg, Version: ver})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if r, ok := resp.(wire.SegFetchResp); ok && r.OK {
+			return r.Data, owners, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrUnlocatable
+	}
+	return nil, owners, lastErr
+}
+
+// orderOwners prefers a co-located owner, otherwise keeps the newest-first
+// order the location table provides.
+func orderOwners(owners []wire.OwnerInfo, host wire.NodeID) []wire.OwnerInfo {
+	if host == "" {
+		return owners
+	}
+	out := make([]wire.OwnerInfo, 0, len(owners))
+	for _, o := range owners {
+		if o.Node == host {
+			out = append(out, o)
+		}
+	}
+	for _, o := range owners {
+		if o.Node != host {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Path returns the file's path.
+func (f *File) Path() string { return f.path }
+
+// Size returns the logical file size including uncommitted writes.
+func (f *File) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.idx.IsAttached() {
+		return int64(len(f.idx.Attached))
+	}
+	return f.idx.Size
+}
+
+// Version returns the committed version this handle is based on.
+func (f *File) Version() uint64 { return f.baseVer }
+
+// Attrs returns the file's attributes.
+func (f *File) Attrs() wire.FileAttrs { return f.attrs }
+
+// ---------------------------------------------------------------------------
+// Reads
+
+// ReadAt reads len(p) bytes at offset off, returning io.EOF at or past end
+// of file. The view is the open version plus this session's own writes.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if f.idx.IsAttached() {
+		n := copy(p, f.idx.Attached[min64(off, int64(len(f.idx.Attached))):])
+		f.mu.Unlock()
+		if n < len(p) {
+			return n, io.EOF
+		}
+		return n, nil
+	}
+	size := f.idx.Size
+	if off >= size {
+		f.mu.Unlock()
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	atEOF := false
+	if off+n > size {
+		n = size - off
+		atEOF = true
+	}
+	pieces, err := f.idx.Map(off, n)
+	if err != nil {
+		f.mu.Unlock()
+		return 0, err
+	}
+	// Snapshot what each piece needs under the lock.
+	type job struct {
+		piece layout.Piece
+		ref   layout.SegRef
+		dirty *dirtySeg
+		dst   []byte
+	}
+	jobs := make([]job, 0, len(pieces))
+	cursor := int64(0)
+	for _, piece := range pieces {
+		ref := f.idx.Segs[piece.SegIdx]
+		jobs = append(jobs, job{piece: piece, ref: ref, dirty: f.dirty[ref.ID], dst: p[cursor : cursor+piece.N]})
+		cursor += piece.N
+	}
+	f.mu.Unlock()
+
+	for _, j := range jobs {
+		var data []byte
+		var rerr error
+		switch {
+		case j.dirty != nil:
+			data, rerr = f.readShadowPiece(j.dirty.node, j.ref.ID, j.piece)
+		default:
+			data, rerr = f.readCommittedPiece(j.ref, j.piece)
+		}
+		if rerr != nil {
+			return int(cursor - int64(len(p))), rerr
+		}
+		copy(j.dst, data)
+		// Short reads (sparse regions of direct segments) leave zeros.
+	}
+	if atEOF {
+		return int(n), io.EOF
+	}
+	return int(n), nil
+}
+
+func (f *File) readShadowPiece(node wire.NodeID, seg ids.SegID, piece layout.Piece) ([]byte, error) {
+	resp, err := f.c.call(node, wire.SegShadowRead{Owner: f.owner, Seg: seg, Offset: piece.Off, Length: piece.N})
+	if err != nil {
+		return nil, err
+	}
+	r, ok := resp.(wire.SegReadResp)
+	if !ok || !r.OK {
+		return nil, fmt.Errorf("core: shadow read: %s", r.Err)
+	}
+	return r.Data, nil
+}
+
+// readCommittedPiece reads a piece of a committed segment: cached owners
+// first, then the home host (which serves directly or redirects), then the
+// multicast probe.
+func (f *File) readCommittedPiece(ref layout.SegRef, piece layout.Piece) ([]byte, error) {
+	ver := ref.Version
+	if f.attrs.VersioningOff {
+		ver = 0 // direct segments serve their single in-place version
+	}
+	f.mu.Lock()
+	cached := f.owners[ref.ID]
+	f.mu.Unlock()
+	if len(cached) > 0 {
+		if data, err := f.tryOwnersRead(cached, ref.ID, ver, piece); err == nil {
+			return data, nil
+		}
+		f.mu.Lock()
+		delete(f.owners, ref.ID)
+		f.mu.Unlock()
+	}
+	// Home host: may serve directly or redirect (Figure 7 steps 2–3).
+	if home := f.c.members.HomeOf(ref.ID); home != "" {
+		resp, err := f.c.call(home, wire.SegRead{Seg: ref.ID, Version: ver, Offset: piece.Off, Length: piece.N})
+		if err == nil {
+			if r, ok := resp.(wire.SegReadResp); ok && r.OK {
+				if !r.Redirect {
+					f.cacheOwner(ref.ID, []wire.OwnerInfo{{Node: home, Version: r.Version}})
+					return r.Data, nil
+				}
+				f.cacheOwner(ref.ID, r.Owners)
+				if data, err := f.tryOwnersRead(r.Owners, ref.ID, ver, piece); err == nil {
+					return data, nil
+				}
+			}
+		}
+	}
+	// Backup scheme.
+	owners, err := f.c.probe(ref.ID)
+	if err != nil {
+		return nil, err
+	}
+	f.cacheOwner(ref.ID, owners)
+	return f.tryOwnersRead(owners, ref.ID, ver, piece)
+}
+
+func (f *File) cacheOwner(seg ids.SegID, owners []wire.OwnerInfo) {
+	f.mu.Lock()
+	f.owners[seg] = owners
+	f.mu.Unlock()
+}
+
+func (f *File) tryOwnersRead(owners []wire.OwnerInfo, seg ids.SegID, ver uint64, piece layout.Piece) ([]byte, error) {
+	var lastErr error
+	for _, o := range orderOwners(owners, f.c.ep.Host()) {
+		resp, err := f.c.call(o.Node, wire.SegRead{Seg: seg, Version: ver, Offset: piece.Off, Length: piece.N})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		r, ok := resp.(wire.SegReadResp)
+		if !ok || !r.OK || r.Redirect {
+			lastErr = fmt.Errorf("core: read %s from %s: %s", seg.Short(), o.Node, r.Err)
+			continue
+		}
+		return r.Data, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("%w: no owner served %s v%d", ErrUnlocatable, seg.Short(), ver)
+	}
+	return nil, lastErr
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+
+// WriteAt writes p at offset off into the session's shadow copies, growing
+// the file as needed. Nothing is visible to other processes until Commit.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if !f.writable {
+		f.mu.Unlock()
+		return 0, ErrReadOnly
+	}
+	f.mu.Unlock()
+	if f.attrs.VersioningOff {
+		return f.writeDirect(p, off)
+	}
+	return f.writeShadow(p, off)
+}
+
+func (f *File) writeShadow(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	// Small files live attached inside the index segment until they
+	// outgrow the limit.
+	if f.idx.IsAttached() {
+		if f.attrs.Mode == wire.Linear && off+int64(len(p)) <= layout.MaxAttach {
+			f.growAttachedLocked(off, p)
+			f.indexDirty = true
+			f.mu.Unlock()
+			return len(p), nil
+		}
+		// Spill: detach the payload, then flush it into real segments
+		// before applying the new write.
+		old := f.idx.Attached
+		f.idx.HasAttached = false
+		f.idx.Attached = nil
+		f.mu.Unlock()
+		if len(old) > 0 {
+			if _, err := f.writeShadowRange(old, 0); err != nil {
+				return 0, err
+			}
+		}
+		return f.writeShadowRange(p, off)
+	}
+	f.mu.Unlock()
+	return f.writeShadowRange(p, off)
+}
+
+func (f *File) growAttachedLocked(off int64, p []byte) {
+	end := off + int64(len(p))
+	if int64(len(f.idx.Attached)) < end {
+		nb := make([]byte, end)
+		copy(nb, f.idx.Attached)
+		f.idx.Attached = nb
+	}
+	copy(f.idx.Attached[off:end], p)
+}
+
+func (f *File) writeShadowRange(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	pieces, err := f.idx.Plan(off, int64(len(p)), ids.New)
+	if err != nil {
+		f.mu.Unlock()
+		return 0, err
+	}
+	type job struct {
+		piece layout.Piece
+		ref   layout.SegRef
+		data  []byte
+	}
+	jobs := make([]job, 0, len(pieces))
+	cursor := int64(0)
+	for _, piece := range pieces {
+		jobs = append(jobs, job{piece: piece, ref: f.idx.Segs[piece.SegIdx], data: p[cursor : cursor+piece.N]})
+		cursor += piece.N
+	}
+	f.indexDirty = true
+	f.mu.Unlock()
+
+	f.renewStaleShadows()
+	for _, j := range jobs {
+		node, err := f.ensureShadow(j.ref, j.piece.SegIdx)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := f.c.call(node, wire.SegWrite{Owner: f.owner, Seg: j.ref.ID, Offset: j.piece.Off, Data: j.data})
+		if err != nil {
+			return 0, err
+		}
+		if r, ok := resp.(wire.SegWriteResp); !ok || !r.OK {
+			return 0, fmt.Errorf("core: write %s on %s: %s", j.ref.ID.Short(), node, r.Err)
+		}
+	}
+	return len(p), nil
+}
+
+// ensureShadow opens (once) the shadow for a data segment, creating the
+// segment on a freshly placed provider when it is new.
+func (f *File) ensureShadow(ref layout.SegRef, segIdx int) (wire.NodeID, error) {
+	f.mu.Lock()
+	if d, ok := f.dirty[ref.ID]; ok {
+		f.mu.Unlock()
+		return d.node, nil
+	}
+	isNew := ref.Version == 0
+	f.mu.Unlock()
+
+	var node wire.NodeID
+	if isNew {
+		// Potential maximum size per the sizing scheme (paper footnote 2).
+		// Data segments are placed purely by the file's policy; the
+		// home-host 3N bias applies to index segments (the paper's
+		// motivating "particular case"), where the extra hop dominates.
+		maxSize := f.idx.Sizing.SegmentSize(segIdx)
+		n, err := f.c.place(f.attrs, maxSize, "", false, nil)
+		if err != nil {
+			return "", err
+		}
+		node = n
+	} else {
+		owners, err := f.segOwners(ref.ID)
+		if err != nil {
+			return "", err
+		}
+		node = orderOwners(owners, f.c.ep.Host())[0].Node
+	}
+	resp, err := f.c.call(node, wire.SegShadow{
+		Owner:             f.owner,
+		Seg:               ref.ID,
+		BaseVer:           0,
+		TTLSec:            f.c.cfg.ShadowTTL.Seconds(),
+		ReplDeg:           f.attrs.ReplDeg,
+		LocalityThreshold: f.attrs.LocalityThreshold,
+	})
+	if err != nil {
+		return "", err
+	}
+	if r, ok := resp.(wire.SegShadowResp); !ok || !r.OK {
+		return "", fmt.Errorf("core: shadow %s on %s: %s", ref.ID.Short(), node, r.Err)
+	}
+	f.mu.Lock()
+	f.dirty[ref.ID] = &dirtySeg{node: node, isNew: isNew, renewedAt: f.c.clock.Now()}
+	f.mu.Unlock()
+	return node, nil
+}
+
+// renewStaleShadows resets the expiration timer of every shadow in this
+// session that is past a third of its TTL (paper §3.5: the application
+// must commit or reset the timer before it expires). Long write sessions —
+// populating a large file under contention — keep all their shadows alive
+// this way, not just the one currently being written.
+func (f *File) renewStaleShadows() {
+	now := f.c.clock.Now()
+	type renewal struct {
+		node wire.NodeID
+		seg  ids.SegID
+	}
+	var due []renewal
+	f.mu.Lock()
+	for seg, d := range f.dirty {
+		if now-d.renewedAt >= f.c.cfg.ShadowTTL/3 {
+			d.renewedAt = now
+			due = append(due, renewal{node: d.node, seg: seg})
+		}
+	}
+	f.mu.Unlock()
+	for _, r := range due {
+		f.c.call(r.node, wire.SegRenew{Owner: f.owner, Seg: r.seg, TTLSec: f.c.cfg.ShadowTTL.Seconds()})
+	}
+}
+
+func (f *File) segOwners(seg ids.SegID) ([]wire.OwnerInfo, error) {
+	f.mu.Lock()
+	cached := f.owners[seg]
+	f.mu.Unlock()
+	if len(cached) > 0 {
+		return cached, nil
+	}
+	owners, err := f.c.locate(seg)
+	if err != nil {
+		return nil, err
+	}
+	f.cacheOwner(seg, owners)
+	return owners, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fsapi"
+	"repro/internal/wire"
+)
+
+// FS adapts a Client to the fsapi.System interface the benchmark harness
+// drives, applying a fixed attribute template to every created file.
+type FS struct {
+	client *Client
+	attrs  wire.FileAttrs
+	label  string
+}
+
+// NewFS wraps client; attrs apply to all files it creates, and label names
+// the configuration in reports (e.g. "sorrento-(8,2)").
+func NewFS(client *Client, attrs wire.FileAttrs, label string) *FS {
+	if attrs.ReplDeg <= 0 {
+		attrs.ReplDeg = 1
+	}
+	if label == "" {
+		label = fmt.Sprintf("sorrento-(?,%d)", attrs.ReplDeg)
+	}
+	return &FS{client: client, attrs: attrs, label: label}
+}
+
+// Client returns the wrapped client.
+func (s *FS) Client() *Client { return s.client }
+
+// Name implements fsapi.System.
+func (s *FS) Name() string { return s.label }
+
+// Mkdir implements fsapi.System.
+func (s *FS) Mkdir(path string) error { return s.client.Mkdir(path) }
+
+// Create implements fsapi.System.
+func (s *FS) Create(path string) (fsapi.File, error) {
+	f, err := s.client.Create(path, s.attrs)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Open implements fsapi.System.
+func (s *FS) Open(path string) (fsapi.File, error) {
+	f, err := s.client.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// OpenWrite implements fsapi.System.
+func (s *FS) OpenWrite(path string) (fsapi.File, error) {
+	f, err := s.client.OpenWrite(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Remove implements fsapi.System.
+func (s *FS) Remove(path string) error { return s.client.Remove(path) }
+
+var _ fsapi.System = (*FS)(nil)

@@ -1,0 +1,195 @@
+package core
+
+// The paper's basic API layer "exports an NFS-style interface, in which
+// operations are based on opaque file and directory handles" (§2.3), with
+// the UNIX-style calls built on top. This file provides that handle-based
+// layer: handles are opaque tokens resolved step by step from the root,
+// and every operation takes a handle rather than a pathname.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// Handle is an opaque reference to a file or directory, as NFSv3 handles
+// are. It embeds no client state; any client of the same volume can use it.
+type Handle struct {
+	// path is the resolved canonical path. Opaque to callers; handles must
+	// be treated as tokens (the NFS contract), not parsed.
+	path string
+	// fileID pins file handles to the entry they resolved to, so a handle
+	// goes stale when the file is removed and recreated — NFS's
+	// stale-handle semantics.
+	fileID ids.FileID
+	isDir  bool
+}
+
+// IsDir reports whether the handle names a directory.
+func (h Handle) IsDir() bool { return h.isDir }
+
+// ErrStaleHandle reports a handle whose object was removed or replaced.
+var ErrStaleHandle = errors.New("core: stale file handle")
+
+// RootHandle returns the volume root directory handle.
+func (c *Client) RootHandle() Handle {
+	return Handle{path: "/", isDir: true}
+}
+
+// LookupHandle resolves one name within a directory handle (NFS LOOKUP).
+func (c *Client) LookupHandle(dir Handle, name string) (Handle, error) {
+	if !dir.isDir {
+		return Handle{}, fmt.Errorf("core: lookup in non-directory handle")
+	}
+	if strings.ContainsRune(name, '/') {
+		return Handle{}, fmt.Errorf("core: lookup name %q must be a single component", name)
+	}
+	path := joinPath(dir.path, name)
+	entries, err := c.ReadDir(dir.path)
+	if err != nil {
+		return Handle{}, err
+	}
+	for _, e := range entries {
+		if e.Name != name {
+			continue
+		}
+		if e.IsDir {
+			return Handle{path: path, isDir: true}, nil
+		}
+		return Handle{path: path, fileID: e.Entry.FileID}, nil
+	}
+	return Handle{}, ErrNotFound
+}
+
+// GetAttr returns the current attributes of a file handle (NFS GETATTR).
+func (c *Client) GetAttr(h Handle) (wire.FileEntry, error) {
+	if h.isDir {
+		return wire.FileEntry{Path: h.path}, nil
+	}
+	entry, err := c.Stat(h.path)
+	if err != nil {
+		return wire.FileEntry{}, err
+	}
+	if entry.FileID != h.fileID {
+		return wire.FileEntry{}, ErrStaleHandle
+	}
+	return entry, nil
+}
+
+// ReadHandle reads up to len(p) bytes at off through a file handle (NFS
+// READ). Each call opens the latest committed version, as NFS's stateless
+// reads do.
+func (c *Client) ReadHandle(h Handle, p []byte, off int64) (int, error) {
+	if h.isDir {
+		return 0, fmt.Errorf("core: read on directory handle")
+	}
+	f, err := c.openHandle(h, false)
+	if err != nil {
+		return 0, err
+	}
+	return f.ReadAt(p, off)
+}
+
+// WriteHandle writes p at off through a file handle and commits (NFS
+// WRITE with stable storage semantics: when the call returns, the write is
+// a committed version).
+func (c *Client) WriteHandle(h Handle, p []byte, off int64) (int, error) {
+	if h.isDir {
+		return 0, fmt.Errorf("core: write on directory handle")
+	}
+	f, err := c.openHandle(h, true)
+	if err != nil {
+		return 0, err
+	}
+	n, err := f.WriteAt(p, off)
+	if err != nil {
+		f.Drop()
+		return 0, err
+	}
+	if err := f.Commit(CommitOptions{}); err != nil {
+		f.Drop()
+		return 0, err
+	}
+	return n, nil
+}
+
+// CreateHandle creates a file in dir and returns its handle (NFS CREATE).
+func (c *Client) CreateHandle(dir Handle, name string, attrs wire.FileAttrs) (Handle, error) {
+	if !dir.isDir {
+		return Handle{}, fmt.Errorf("core: create in non-directory handle")
+	}
+	path := joinPath(dir.path, name)
+	f, err := c.Create(path, attrs)
+	if err != nil {
+		return Handle{}, err
+	}
+	if err := f.Close(); err != nil {
+		return Handle{}, err
+	}
+	entry, err := c.Stat(path)
+	if err != nil {
+		return Handle{}, err
+	}
+	return Handle{path: path, fileID: entry.FileID}, nil
+}
+
+// MkdirHandle creates a directory in dir (NFS MKDIR).
+func (c *Client) MkdirHandle(dir Handle, name string) (Handle, error) {
+	if !dir.isDir {
+		return Handle{}, fmt.Errorf("core: mkdir in non-directory handle")
+	}
+	path := joinPath(dir.path, name)
+	if err := c.Mkdir(path); err != nil {
+		return Handle{}, err
+	}
+	return Handle{path: path, isDir: true}, nil
+}
+
+// RemoveHandle unlinks a name within dir (NFS REMOVE).
+func (c *Client) RemoveHandle(dir Handle, name string) error {
+	if !dir.isDir {
+		return fmt.Errorf("core: remove in non-directory handle")
+	}
+	return c.Remove(joinPath(dir.path, name))
+}
+
+// ReadDirHandle lists a directory handle (NFS READDIR).
+func (c *Client) ReadDirHandle(dir Handle) ([]wire.DirEntry, error) {
+	if !dir.isDir {
+		return nil, fmt.Errorf("core: readdir on file handle")
+	}
+	return c.ReadDir(dir.path)
+}
+
+// openHandle opens the handle's file, validating handle freshness.
+func (c *Client) openHandle(h Handle, writable bool) (*File, error) {
+	var (
+		f   *File
+		err error
+	)
+	if writable {
+		f, err = c.OpenWrite(h.path)
+	} else {
+		f, err = c.Open(h.path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if f.entry.FileID != h.fileID {
+		if writable {
+			f.Drop()
+		}
+		return nil, ErrStaleHandle
+	}
+	return f, nil
+}
+
+func joinPath(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}

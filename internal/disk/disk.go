@@ -1,0 +1,147 @@
+// Package disk models a storage node's locally attached disk: a FIFO
+// device charging seek + rotational + transfer time per request, plus
+// capacity accounting. The paper's clusters use 10K rpm SCSI drives
+// (~5 ms seek) behind software RAID-0; Model captures those parameters.
+//
+// Actual segment bytes are held by internal/segstore; this package only
+// prices the I/O and tracks space.
+package disk
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Model describes drive hardware.
+type Model struct {
+	// SeekTime is the average positioning time per request.
+	SeekTime time.Duration
+	// RotationalLatency is the average rotational delay (half a revolution).
+	RotationalLatency time.Duration
+	// TransferRate is the sustained media rate in bytes/second.
+	TransferRate float64
+	// SequentialThreshold is the request size above which positioning costs
+	// are charged once per chunk of this size rather than once per request,
+	// approximating mostly-sequential large transfers.
+	SequentialThreshold int64
+}
+
+// SCSI10K returns the paper-era drive: 10K rpm (3 ms rotational average),
+// ~5 ms seek, ~50 MB/s sustained.
+func SCSI10K() Model {
+	return Model{
+		SeekTime:            5 * time.Millisecond,
+		RotationalLatency:   3 * time.Millisecond,
+		TransferRate:        50e6,
+		SequentialThreshold: 8 << 20,
+	}
+}
+
+// ServiceTime returns the modeled device time for one request of n bytes.
+func (m Model) ServiceTime(n int64) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	pos := m.SeekTime + m.RotationalLatency
+	if m.SequentialThreshold > 0 && n > m.SequentialThreshold {
+		// Large transfers re-seek occasionally (track/cylinder switches).
+		chunks := (n + m.SequentialThreshold - 1) / m.SequentialThreshold
+		pos = time.Duration(chunks) * (m.SeekTime + m.RotationalLatency) / 2
+	}
+	xfer := time.Duration(0)
+	if m.TransferRate > 0 {
+		xfer = time.Duration(float64(n) / m.TransferRate * float64(time.Second))
+	}
+	return pos + xfer
+}
+
+// Disk is one node's disk: a cost model, a FIFO arm, and a space ledger.
+type Disk struct {
+	model Model
+	arm   *simtime.Resource
+
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+}
+
+// New returns a disk of the given capacity charged against clock.
+func New(clock *simtime.Clock, name string, model Model, capacity int64) *Disk {
+	return &Disk{
+		model:    model,
+		arm:      simtime.NewResource(clock, name+"/disk"),
+		capacity: capacity,
+	}
+}
+
+// Resource exposes the disk arm so load samplers can include disk I/O wait.
+func (d *Disk) Resource() *simtime.Resource { return d.arm }
+
+// Read charges a read of n bytes synchronously (a cache miss).
+func (d *Disk) Read(n int64) { d.arm.Use(d.model.ServiceTime(n)) }
+
+// Write charges a write of n bytes synchronously.
+func (d *Disk) Write(n int64) { d.arm.Use(d.model.ServiceTime(n)) }
+
+// WriteAsync books a write-back flush of n bytes: the disk arm is occupied
+// (it shows up in utilization and delays subsequent synchronous reads) but
+// the caller does not wait, modeling the native file system's page cache
+// absorbing writes off the request path.
+func (d *Disk) WriteAsync(n int64) { d.arm.Reserve(d.model.ServiceTime(n)) }
+
+// Alloc reserves n bytes of capacity. It fails when the disk would
+// overflow; Sorrento's placement keeps providers from reaching that point,
+// so hitting this error indicates imbalance.
+func (d *Disk) Alloc(n int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.used+n > d.capacity {
+		return fmt.Errorf("disk: out of space: used %d + %d > capacity %d", d.used, n, d.capacity)
+	}
+	d.used += n
+	return nil
+}
+
+// Free releases n bytes of capacity.
+func (d *Disk) Free(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.used -= n
+	if d.used < 0 {
+		d.used = 0
+	}
+}
+
+// Used returns the bytes currently allocated.
+func (d *Disk) Used() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
+
+// Capacity returns the disk's total capacity.
+func (d *Disk) Capacity() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.capacity
+}
+
+// FreeBytes returns remaining capacity.
+func (d *Disk) FreeBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.capacity - d.used
+}
+
+// UsedFrac returns the consumed fraction in [0,1].
+func (d *Disk) UsedFrac() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.capacity <= 0 {
+		return 0
+	}
+	return float64(d.used) / float64(d.capacity)
+}

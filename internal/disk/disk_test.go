@@ -1,0 +1,93 @@
+package disk
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestServiceTimeSmallRequest(t *testing.T) {
+	m := SCSI10K()
+	// A 4KB read is dominated by positioning: ~8ms.
+	st := m.ServiceTime(4096)
+	if st < 7*time.Millisecond || st > 10*time.Millisecond {
+		t.Errorf("ServiceTime(4KB) = %v", st)
+	}
+}
+
+func TestServiceTimeLargeTransferDominatedByBandwidth(t *testing.T) {
+	m := SCSI10K()
+	st := m.ServiceTime(50 << 20) // 50MB at 50MB/s ≈ 1s + modest reseeks
+	if st < time.Second || st > 1300*time.Millisecond {
+		t.Errorf("ServiceTime(50MB) = %v", st)
+	}
+}
+
+func TestServiceTimeMonotonic(t *testing.T) {
+	m := SCSI10K()
+	prev := time.Duration(0)
+	for _, n := range []int64{0, 1 << 10, 1 << 16, 1 << 20, 1 << 24, 1 << 28} {
+		st := m.ServiceTime(n)
+		if st < prev {
+			t.Errorf("ServiceTime(%d) = %v < previous %v", n, st, prev)
+		}
+		prev = st
+	}
+}
+
+func TestServiceTimeNegativeClamped(t *testing.T) {
+	m := SCSI10K()
+	if m.ServiceTime(-5) != m.ServiceTime(0) {
+		t.Error("negative size not clamped")
+	}
+}
+
+func TestAllocFreeAccounting(t *testing.T) {
+	d := New(simtime.NewClock(1), "n1", SCSI10K(), 1000)
+	if err := d.Alloc(600); err != nil {
+		t.Fatal(err)
+	}
+	if d.Used() != 600 || d.FreeBytes() != 400 {
+		t.Errorf("used=%d free=%d", d.Used(), d.FreeBytes())
+	}
+	if err := d.Alloc(500); err == nil {
+		t.Error("over-capacity Alloc succeeded")
+	}
+	d.Free(200)
+	if d.Used() != 400 {
+		t.Errorf("used after free = %d", d.Used())
+	}
+	if got := d.UsedFrac(); got != 0.4 {
+		t.Errorf("UsedFrac = %v", got)
+	}
+	d.Free(10000)
+	if d.Used() != 0 {
+		t.Errorf("Free past zero left used=%d", d.Used())
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	d := New(simtime.NewClock(1), "n1", SCSI10K(), 12345)
+	if d.Capacity() != 12345 {
+		t.Errorf("Capacity = %d", d.Capacity())
+	}
+}
+
+func TestReadWriteChargeArm(t *testing.T) {
+	clock := simtime.NewClock(0.001)
+	d := New(clock, "n1", SCSI10K(), 1<<30)
+	d.Read(1 << 20)
+	d.Write(1 << 20)
+	busy, n := d.Resource().BusyTime()
+	if n != 2 || busy <= 0 {
+		t.Errorf("arm busy=%v n=%d", busy, n)
+	}
+}
+
+func TestZeroCapacityUsedFrac(t *testing.T) {
+	d := New(simtime.NewClock(1), "n1", SCSI10K(), 0)
+	if d.UsedFrac() != 0 {
+		t.Error("zero-capacity UsedFrac != 0")
+	}
+}

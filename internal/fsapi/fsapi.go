@@ -1,0 +1,34 @@
+// Package fsapi defines the minimal file-system interface the benchmark
+// harness drives identically against Sorrento, the NFS-like baseline, and
+// the PVFS-like baseline, so every experiment compares the systems on the
+// same operations.
+package fsapi
+
+import "io"
+
+// File is an open file handle.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Close releases the handle, committing pending changes where the
+	// system versions them.
+	Close() error
+	// Size returns the current logical size.
+	Size() int64
+}
+
+// System is a mountable file system.
+type System interface {
+	// Name identifies the system in reports ("sorrento-(8,2)", "nfs", …).
+	Name() string
+	// Mkdir creates a directory.
+	Mkdir(path string) error
+	// Create creates a new file open for writing.
+	Create(path string) (File, error)
+	// Open opens an existing file read-only.
+	Open(path string) (File, error)
+	// OpenWrite opens an existing file for writing.
+	OpenWrite(path string) (File, error)
+	// Remove unlinks a file.
+	Remove(path string) error
+}

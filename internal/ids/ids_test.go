@@ -1,0 +1,108 @@
+package ids
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewUnique(t *testing.T) {
+	const n = 100000
+	seen := make(map[SegID]bool, n)
+	g := NewGenerator()
+	for i := 0; i < n; i++ {
+		id := g.New()
+		if seen[id] {
+			t.Fatalf("duplicate SegID after %d draws: %s", i, id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNewUniqueConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 20000
+	)
+	g := NewGenerator()
+	var mu sync.Mutex
+	seen := make(map[SegID]bool, workers*perW)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]SegID, 0, perW)
+			for i := 0; i < perW; i++ {
+				local = append(local, g.New())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate SegID %s", id)
+					return
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDefaultGenerator(t *testing.T) {
+	a, b := New(), New()
+	if a == b {
+		t.Fatalf("default generator returned duplicate: %s", a)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	f := func(raw [16]byte) bool {
+		id := SegID(raw)
+		got, err := Parse(id.String())
+		return err == nil && got == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "abc", "zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz", "0123456789abcdef0123456789abcde"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Error("Zero.IsZero() = false")
+	}
+	if New().IsZero() {
+		t.Error("fresh SegID reported zero")
+	}
+}
+
+func TestLessTotalOrder(t *testing.T) {
+	f := func(a, b [16]byte) bool {
+		x, y := SegID(a), SegID(b)
+		switch {
+		case x == y:
+			return !x.Less(y) && !y.Less(x)
+		default:
+			return x.Less(y) != y.Less(x)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShort(t *testing.T) {
+	id := New()
+	if got := id.Short(); len(got) != 8 || id.String()[:8] != got {
+		t.Errorf("Short() = %q, want first 8 digits of %q", got, id)
+	}
+}

@@ -1,0 +1,305 @@
+// Package membership implements Sorrento's soft-state membership manager
+// (paper §3.3, modeled on Neptune): storage providers periodically announce
+// heartbeats on the multicast channel carrying their load and storage
+// availability; every node constructs the live provider set by listening to
+// the same channel and evicts providers silent for FailureFactor×interval.
+// The manager also maintains the consistent-hash ring over the live set for
+// home-host lookups (§3.4.1).
+package membership
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/chash"
+	"repro/internal/ids"
+	"repro/internal/simtime"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Config tunes heartbeat cadence and failure detection.
+type Config struct {
+	// HeartbeatInterval is the announcement period.
+	HeartbeatInterval time.Duration
+	// FailureFactor × HeartbeatInterval of silence marks a provider dead
+	// (paper: five times the announcement interval).
+	FailureFactor int
+}
+
+// DefaultConfig matches the paper's test environment.
+func DefaultConfig() Config {
+	return Config{HeartbeatInterval: time.Second, FailureFactor: 5}
+}
+
+// Event reports a membership change.
+type Event struct {
+	Node   wire.NodeID
+	Joined bool // false = departed
+}
+
+type member struct {
+	lastSeen time.Duration // modeled clock time
+	load     wire.LoadInfo
+	seq      uint64
+}
+
+// Manager tracks the live provider set. One Manager runs on every node;
+// providers additionally run an Announcer.
+type Manager struct {
+	clock *simtime.Clock
+	cfg   Config
+
+	mu      sync.Mutex
+	live    map[wire.NodeID]*member
+	ring    *chash.Ring
+	subs    []func(Event)
+	stop    chan struct{}
+	stopped bool
+}
+
+// NewManager returns a manager with an empty view.
+func NewManager(clock *simtime.Clock, cfg Config) *Manager {
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = DefaultConfig().HeartbeatInterval
+	}
+	if cfg.FailureFactor <= 0 {
+		cfg.FailureFactor = DefaultConfig().FailureFactor
+	}
+	return &Manager{
+		clock: clock,
+		cfg:   cfg,
+		live:  make(map[wire.NodeID]*member),
+		ring:  chash.New(nil),
+		stop:  make(chan struct{}),
+	}
+}
+
+// Start launches the eviction loop. Stop it with Stop.
+func (m *Manager) Start() {
+	go m.evictLoop()
+}
+
+// Stop halts the eviction loop.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.stopped {
+		m.stopped = true
+		close(m.stop)
+	}
+}
+
+func (m *Manager) evictLoop() {
+	t := m.clock.NewTicker(m.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.evictStale()
+		}
+	}
+}
+
+func (m *Manager) evictStale() {
+	deadline := m.clock.Now() - time.Duration(m.cfg.FailureFactor)*m.cfg.HeartbeatInterval
+	var departed []wire.NodeID
+	m.mu.Lock()
+	for id, mb := range m.live {
+		if mb.lastSeen < deadline {
+			delete(m.live, id)
+			departed = append(departed, id)
+		}
+	}
+	if len(departed) > 0 {
+		m.rebuildRingLocked()
+	}
+	subs := append([]func(Event){}, m.subs...)
+	m.mu.Unlock()
+	for _, id := range departed {
+		for _, s := range subs {
+			s(Event{Node: id, Joined: false})
+		}
+	}
+}
+
+// ObserveHeartbeat folds a heartbeat into the view; transports route
+// multicast wire.Heartbeat messages here.
+func (m *Manager) ObserveHeartbeat(hb wire.Heartbeat) {
+	m.mu.Lock()
+	mb, known := m.live[hb.From]
+	if !known {
+		mb = &member{}
+		m.live[hb.From] = mb
+		m.rebuildRingLocked()
+	}
+	if hb.Seq >= mb.seq {
+		mb.seq = hb.Seq
+		mb.load = hb.Load
+	}
+	mb.lastSeen = m.clock.Now()
+	subs := append([]func(Event){}, m.subs...)
+	m.mu.Unlock()
+	if !known {
+		for _, s := range subs {
+			s(Event{Node: hb.From, Joined: true})
+		}
+	}
+}
+
+// MarkDead removes a provider immediately (e.g. after repeated request
+// timeouts), without waiting for heartbeat expiry.
+func (m *Manager) MarkDead(id wire.NodeID) {
+	m.mu.Lock()
+	_, known := m.live[id]
+	if known {
+		delete(m.live, id)
+		m.rebuildRingLocked()
+	}
+	subs := append([]func(Event){}, m.subs...)
+	m.mu.Unlock()
+	if known {
+		for _, s := range subs {
+			s(Event{Node: id, Joined: false})
+		}
+	}
+}
+
+func (m *Manager) rebuildRingLocked() {
+	nodes := make([]string, 0, len(m.live))
+	for id := range m.live {
+		nodes = append(nodes, string(id))
+	}
+	m.ring = chash.New(nodes)
+}
+
+// Live returns the sorted live provider set.
+func (m *Manager) Live() []wire.NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]wire.NodeID, 0, len(m.live))
+	for id := range m.live {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsLive reports whether a provider is in the live set.
+func (m *Manager) IsLive(id wire.NodeID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.live[id]
+	return ok
+}
+
+// Len returns the live provider count.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.live)
+}
+
+// Load returns the last gossiped load of a provider.
+func (m *Manager) Load(id wire.NodeID) (wire.LoadInfo, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mb, ok := m.live[id]
+	if !ok {
+		return wire.LoadInfo{}, false
+	}
+	return mb.load, true
+}
+
+// Loads returns a snapshot of every live provider's load.
+func (m *Manager) Loads() map[wire.NodeID]wire.LoadInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[wire.NodeID]wire.LoadInfo, len(m.live))
+	for id, mb := range m.live {
+		out[id] = mb.load
+	}
+	return out
+}
+
+// HomeOf returns the home host responsible for tracking seg's owners, per
+// consistent hashing over the live set ("" when no providers are live).
+func (m *Manager) HomeOf(seg ids.SegID) wire.NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return wire.NodeID(m.ring.Lookup(seg[:]))
+}
+
+// Ring returns the current consistent-hash ring (immutable snapshot).
+func (m *Manager) Ring() *chash.Ring {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ring
+}
+
+// Subscribe registers a callback invoked on every join/departure. The
+// callback runs synchronously with the detecting code path and must be
+// quick; slow reactions should hand off to their own goroutine.
+func (m *Manager) Subscribe(f func(Event)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.subs = append(m.subs, f)
+}
+
+// Announcer periodically multicasts this provider's heartbeat. Because the
+// multicast channel does not loop back to the sender, the announcer also
+// delivers each heartbeat to the local observers so a provider's own
+// membership view includes itself (required for ring agreement).
+type Announcer struct {
+	clock    *simtime.Clock
+	cfg      Config
+	ep       transport.Endpoint
+	loadFn   func() wire.LoadInfo
+	local    []func(wire.Heartbeat)
+	stopOnce sync.Once
+	stop     chan struct{}
+	seq      uint64
+}
+
+// NewAnnouncer returns an announcer broadcasting loadFn's snapshots from
+// ep; each heartbeat is also handed to the local observers.
+func NewAnnouncer(clock *simtime.Clock, cfg Config, ep transport.Endpoint, loadFn func() wire.LoadInfo, local ...func(wire.Heartbeat)) *Announcer {
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = DefaultConfig().HeartbeatInterval
+	}
+	return &Announcer{clock: clock, cfg: cfg, ep: ep, loadFn: loadFn, local: local, stop: make(chan struct{})}
+}
+
+// Start announces immediately and then on every interval.
+func (a *Announcer) Start() {
+	a.announce()
+	go func() {
+		t := a.clock.NewTicker(a.cfg.HeartbeatInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-a.stop:
+				return
+			case <-t.C:
+				a.announce()
+			}
+		}
+	}()
+}
+
+// Stop halts announcements (the node will be declared dead by peers).
+func (a *Announcer) Stop() {
+	a.stopOnce.Do(func() { close(a.stop) })
+}
+
+func (a *Announcer) announce() {
+	a.seq++
+	hb := wire.Heartbeat{From: a.ep.ID(), Seq: a.seq, Load: a.loadFn()}
+	a.ep.Multicast(hb)
+	for _, f := range a.local {
+		f(hb)
+	}
+}

@@ -1,0 +1,215 @@
+package membership
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func newMgr(scale float64) (*Manager, *simtime.Clock) {
+	clock := simtime.NewClock(scale)
+	return NewManager(clock, Config{HeartbeatInterval: time.Second, FailureFactor: 5}), clock
+}
+
+func TestObserveHeartbeatAddsMember(t *testing.T) {
+	m, _ := newMgr(0.001)
+	m.ObserveHeartbeat(wire.Heartbeat{From: "p1", Seq: 1, Load: wire.LoadInfo{Load: 0.3}})
+	if !m.IsLive("p1") || m.Len() != 1 {
+		t.Fatal("p1 not live after heartbeat")
+	}
+	load, ok := m.Load("p1")
+	if !ok || load.Load != 0.3 {
+		t.Errorf("Load = %+v %v", load, ok)
+	}
+}
+
+func TestStaleSeqDoesNotRegressLoad(t *testing.T) {
+	m, _ := newMgr(0.001)
+	m.ObserveHeartbeat(wire.Heartbeat{From: "p1", Seq: 5, Load: wire.LoadInfo{Load: 0.9}})
+	m.ObserveHeartbeat(wire.Heartbeat{From: "p1", Seq: 3, Load: wire.LoadInfo{Load: 0.1}})
+	load, _ := m.Load("p1")
+	if load.Load != 0.9 {
+		t.Errorf("stale heartbeat overwrote load: %v", load.Load)
+	}
+}
+
+func TestEvictionAfterSilence(t *testing.T) {
+	m, clock := newMgr(0.0005)
+	m.ObserveHeartbeat(wire.Heartbeat{From: "p1", Seq: 1})
+	m.Start()
+	defer m.Stop()
+	// 5×1s failure window; sleep well past it (modeled).
+	clock.Sleep(10 * time.Second)
+	deadline := time.After(2 * time.Second)
+	for m.IsLive("p1") {
+		select {
+		case <-deadline:
+			t.Fatal("p1 not evicted after silence")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestHeartbeatsKeepMemberAlive(t *testing.T) {
+	m, clock := newMgr(0.001)
+	m.Start()
+	defer m.Stop()
+	for i := 0; i < 10; i++ {
+		m.ObserveHeartbeat(wire.Heartbeat{From: "p1", Seq: uint64(i)})
+		clock.Sleep(time.Second)
+	}
+	if !m.IsLive("p1") {
+		t.Fatal("p1 evicted despite heartbeats")
+	}
+}
+
+func TestSubscribeEvents(t *testing.T) {
+	m, clock := newMgr(0.0005)
+	var mu sync.Mutex
+	var events []Event
+	m.Subscribe(func(e Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})
+	m.ObserveHeartbeat(wire.Heartbeat{From: "p1", Seq: 1})
+	m.Start()
+	defer m.Stop()
+	clock.Sleep(10 * time.Second)
+	deadline := time.After(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(events)
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("got %d events, want join+departure", n)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !events[0].Joined || events[0].Node != "p1" {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if events[1].Joined || events[1].Node != "p1" {
+		t.Errorf("event 1 = %+v", events[1])
+	}
+}
+
+func TestMarkDead(t *testing.T) {
+	m, _ := newMgr(0.001)
+	m.ObserveHeartbeat(wire.Heartbeat{From: "p1", Seq: 1})
+	m.MarkDead("p1")
+	if m.IsLive("p1") {
+		t.Fatal("p1 live after MarkDead")
+	}
+	// Idempotent.
+	m.MarkDead("p1")
+}
+
+func TestHomeOfTracksRing(t *testing.T) {
+	m, _ := newMgr(0.001)
+	seg := ids.New()
+	if m.HomeOf(seg) != "" {
+		t.Error("HomeOf on empty view")
+	}
+	for _, p := range []wire.NodeID{"p1", "p2", "p3"} {
+		m.ObserveHeartbeat(wire.Heartbeat{From: p, Seq: 1})
+	}
+	home := m.HomeOf(seg)
+	if home == "" {
+		t.Fatal("no home host")
+	}
+	// Removing a different node must not move this segment's home.
+	var other wire.NodeID
+	for _, p := range m.Live() {
+		if p != home {
+			other = p
+			break
+		}
+	}
+	m.MarkDead(other)
+	if got := m.HomeOf(seg); got != home {
+		t.Errorf("home moved from %v to %v when %v died", home, got, other)
+	}
+}
+
+func TestLiveSorted(t *testing.T) {
+	m, _ := newMgr(0.001)
+	for _, p := range []wire.NodeID{"p3", "p1", "p2"} {
+		m.ObserveHeartbeat(wire.Heartbeat{From: p, Seq: 1})
+	}
+	live := m.Live()
+	if len(live) != 3 || live[0] != "p1" || live[2] != "p3" {
+		t.Errorf("Live = %v", live)
+	}
+	loads := m.Loads()
+	if len(loads) != 3 {
+		t.Errorf("Loads len = %d", len(loads))
+	}
+}
+
+func TestAnnouncerOverSimnet(t *testing.T) {
+	clock := simtime.NewClock(0.001)
+	fabric := simnet.New(clock, simnet.FastEthernet())
+
+	mgr := NewManager(clock, Config{HeartbeatInterval: time.Second, FailureFactor: 5})
+	obsEp, err := fabric.Join("observer", heartbeatSink{mgr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = obsEp
+
+	provEp, err := fabric.Join("p1", heartbeatSink{nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := NewAnnouncer(clock, Config{HeartbeatInterval: time.Second}, provEp, func() wire.LoadInfo {
+		return wire.LoadInfo{Load: 0.42, FreeBytes: 7, TotalBytes: 10}
+	})
+	ann.Start()
+	defer ann.Stop()
+
+	deadline := time.After(2 * time.Second)
+	for !mgr.IsLive("p1") {
+		select {
+		case <-deadline:
+			t.Fatal("observer never saw p1's heartbeat")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	load, _ := mgr.Load("p1")
+	if load.Load != 0.42 || load.FreeBytes != 7 {
+		t.Errorf("gossiped load = %+v", load)
+	}
+}
+
+// heartbeatSink adapts a Manager to transport.Handler for tests.
+type heartbeatSink struct{ m *Manager }
+
+func (h heartbeatSink) HandleCall(_ context.Context, _ wire.NodeID, _ any) (any, error) {
+	return nil, transport.ErrNoHandler
+}
+
+func (h heartbeatSink) HandleCast(from wire.NodeID, msg any) {
+	if h.m == nil {
+		return
+	}
+	if hb, ok := msg.(wire.Heartbeat); ok {
+		h.m.ObserveHeartbeat(hb)
+	}
+}

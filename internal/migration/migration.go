@@ -1,0 +1,183 @@
+// Package migration implements the decision logic of Sorrento's data
+// migration (paper §3.7): when a provider migrates (significant imbalance —
+// top-10% and above mean+3σ of cluster I/O load or storage utilization),
+// what it migrates (hot segments off I/O-loaded nodes, cold segments off
+// space-pressured nodes, by last-access-time temperature), where the data
+// goes (α=0.8 favoring lightly loaded nodes vs α=0.3 favoring space), and
+// the locality-driven policy that moves a segment to the node generating
+// most of its traffic. Execution (the actual transfer) lives in
+// internal/provider; this package is pure decision logic so every rule is
+// unit-testable.
+package migration
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// Trigger classifies why a provider should migrate data away.
+type Trigger int
+
+// Trigger values.
+const (
+	None Trigger = iota
+	// IOLoad: this node's I/O load is an outlier → shed hot segments to
+	// lightly loaded nodes (α = 0.8).
+	IOLoad
+	// Space: this node's storage utilization is an outlier → shed cold
+	// segments to space-rich nodes (α = 0.3).
+	Space
+)
+
+func (t Trigger) String() string {
+	switch t {
+	case IOLoad:
+		return "io-load"
+	case Space:
+		return "space"
+	default:
+		return "none"
+	}
+}
+
+// Alphas used for migration destinations (paper §3.7.1).
+const (
+	AlphaIO    = 0.8
+	AlphaSpace = 0.3
+)
+
+// TopFrac is the "among the highest 10% of all providers" trigger bound.
+const TopFrac = 0.10
+
+// Absolute trigger floors. The ±3σ rule alone misfires on a nearly idle or
+// nearly empty cluster, where σ≈0 makes any microscopic difference look
+// like "significant imbalance" and migration churns pointlessly; a node
+// must also carry meaningful load/usage before shedding anything.
+const (
+	// MinIOLoad is the I/O-wait level below which the load trigger stays off.
+	MinIOLoad = 0.2
+	// MinUsedFrac is the storage utilization below which the space trigger
+	// stays off.
+	MinUsedFrac = 0.08
+)
+
+// NodeStat is one provider's view of a peer (from heartbeats).
+type NodeStat struct {
+	ID       wire.NodeID
+	IOLoad   float64 // EWMA of I/O wait percentage
+	UsedFrac float64 // consumed space fraction
+}
+
+// Decide evaluates the migration trigger for self within the cluster
+// snapshot (which must include self). Migration activates when the node is
+// within the top 10% AND above mean+3σ for either metric; I/O load wins
+// ties since shedding load is the more urgent objective.
+//
+// The mean and σ are computed over the *other* nodes: with self included, a
+// lone outlier in an n-node cluster has a z-score of exactly √(n−1), so the
+// paper's >3σ rule could never fire on its own 10-node testbed. Excluding
+// self preserves the intended "am I an outlier?" semantics at small n.
+func Decide(self NodeStat, cluster []NodeStat) Trigger {
+	if len(cluster) < 2 {
+		return None
+	}
+	io := make([]float64, 0, len(cluster))
+	sp := make([]float64, 0, len(cluster))
+	ioOthers := make([]float64, 0, len(cluster))
+	spOthers := make([]float64, 0, len(cluster))
+	for _, n := range cluster {
+		io = append(io, n.IOLoad)
+		sp = append(sp, n.UsedFrac)
+		if n.ID != self.ID {
+			ioOthers = append(ioOthers, n.IOLoad)
+			spOthers = append(spOthers, n.UsedFrac)
+		}
+	}
+	if self.IOLoad >= MinIOLoad &&
+		stats.TopFraction(self.IOLoad, io, TopFrac) && stats.AboveThreeSigma(self.IOLoad, ioOthers) {
+		return IOLoad
+	}
+	if self.UsedFrac >= MinUsedFrac &&
+		stats.TopFraction(self.UsedFrac, sp, TopFrac) && stats.AboveThreeSigma(self.UsedFrac, spOthers) {
+		return Space
+	}
+	return None
+}
+
+// SegmentInfo describes one local segment for migration choice.
+type SegmentInfo struct {
+	ID         ids.SegID
+	Size       int64
+	LastAccess time.Duration // temperature: recent = hot (paper §3.7.1)
+}
+
+// PickSegment chooses what to migrate: the hottest segment under an I/O
+// trigger; under a space trigger, the largest segment among the cold
+// quartile — migration moves one segment per cycle, so moving a tiny cold
+// segment would not relieve space pressure. ok is false when there is
+// nothing to move.
+func PickSegment(t Trigger, segs []SegmentInfo) (SegmentInfo, bool) {
+	if len(segs) == 0 || t == None {
+		return SegmentInfo{}, false
+	}
+	switch t {
+	case IOLoad:
+		best := segs[0]
+		for _, s := range segs[1:] {
+			if s.LastAccess > best.LastAccess || (s.LastAccess == best.LastAccess && s.ID.Less(best.ID)) {
+				best = s
+			}
+		}
+		return best, true
+	default: // Space
+		sorted := append([]SegmentInfo(nil), segs...)
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].LastAccess != sorted[j].LastAccess {
+				return sorted[i].LastAccess < sorted[j].LastAccess
+			}
+			return sorted[i].ID.Less(sorted[j].ID)
+		})
+		quart := len(sorted) / 4
+		if quart < 1 {
+			quart = 1
+		}
+		cold := sorted[:quart]
+		best := cold[0]
+		for _, s := range cold[1:] {
+			if s.Size > best.Size || (s.Size == best.Size && s.ID.Less(best.ID)) {
+				best = s
+			}
+		}
+		return best, true
+	}
+}
+
+// DestAlpha returns the placement α for a trigger.
+func DestAlpha(t Trigger) float64 {
+	if t == Space {
+		return AlphaSpace
+	}
+	return AlphaIO
+}
+
+// MinLocalityThreshold is the lowest admissible locality threshold: below
+// a majority share, a segment could oscillate between two readers
+// (paper §3.7.2: "the threshold value must be greater than 50%").
+const MinLocalityThreshold = 0.5
+
+// LocalityMove decides whether a locality-managed segment should move to
+// the node dominating its traffic: the share must exceed the (validated)
+// threshold and the dominant node must be a live provider other than self.
+func LocalityMove(self, dominant wire.NodeID, share, threshold float64, isLiveProvider func(wire.NodeID) bool) bool {
+	if threshold <= MinLocalityThreshold {
+		return false
+	}
+	if dominant == "" || dominant == self || share <= threshold {
+		return false
+	}
+	return isLiveProvider(dominant)
+}

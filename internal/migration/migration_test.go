@@ -1,0 +1,155 @@
+package migration
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+func flatCluster(n int, io, used float64) []NodeStat {
+	out := make([]NodeStat, n)
+	for i := range out {
+		out[i] = NodeStat{ID: wire.NodeID(rune('a' + i)), IOLoad: io, UsedFrac: used}
+	}
+	return out
+}
+
+func TestDecideNoTriggerWhenBalanced(t *testing.T) {
+	cluster := flatCluster(10, 0.5, 0.5)
+	if got := Decide(cluster[0], cluster); got != None {
+		t.Errorf("balanced cluster triggered %v", got)
+	}
+}
+
+func TestDecideIOTrigger(t *testing.T) {
+	cluster := flatCluster(10, 0.2, 0.5)
+	cluster[0].IOLoad = 0.95
+	if got := Decide(cluster[0], cluster); got != IOLoad {
+		t.Errorf("io outlier triggered %v", got)
+	}
+	// A non-outlier node must not trigger.
+	if got := Decide(cluster[1], cluster); got != None {
+		t.Errorf("normal node triggered %v", got)
+	}
+}
+
+func TestDecideSpaceTrigger(t *testing.T) {
+	cluster := flatCluster(10, 0.5, 0.2)
+	cluster[3].UsedFrac = 0.95
+	if got := Decide(cluster[3], cluster); got != Space {
+		t.Errorf("space outlier triggered %v", got)
+	}
+}
+
+func TestDecideIOWinsOverSpace(t *testing.T) {
+	cluster := flatCluster(10, 0.2, 0.2)
+	cluster[0].IOLoad = 0.95
+	cluster[0].UsedFrac = 0.95
+	if got := Decide(cluster[0], cluster); got != IOLoad {
+		t.Errorf("double outlier triggered %v, want IOLoad priority", got)
+	}
+}
+
+func TestDecideTopTenPercentRequired(t *testing.T) {
+	// Half the cluster is hot: a hot node is above 3σ of nothing — the
+	// spread is wide, so no node should be an outlier.
+	cluster := flatCluster(10, 0.2, 0.5)
+	for i := 0; i < 5; i++ {
+		cluster[i].IOLoad = 0.9
+	}
+	if got := Decide(cluster[0], cluster); got != None {
+		t.Errorf("node in wide spread triggered %v", got)
+	}
+}
+
+func TestDecideSingleNodeCluster(t *testing.T) {
+	c := flatCluster(1, 0.9, 0.9)
+	if got := Decide(c[0], c); got != None {
+		t.Errorf("single node triggered %v", got)
+	}
+}
+
+func TestPickSegmentHotForIO(t *testing.T) {
+	segs := []SegmentInfo{
+		{ID: ids.New(), LastAccess: time.Second},
+		{ID: ids.New(), LastAccess: time.Hour}, // hottest
+		{ID: ids.New(), LastAccess: time.Minute},
+	}
+	got, ok := PickSegment(IOLoad, segs)
+	if !ok || got.LastAccess != time.Hour {
+		t.Errorf("PickSegment(IOLoad) = %+v %v", got, ok)
+	}
+}
+
+func TestPickSegmentColdForSpace(t *testing.T) {
+	segs := []SegmentInfo{
+		{ID: ids.New(), LastAccess: time.Hour},
+		{ID: ids.New(), LastAccess: time.Second}, // coldest
+		{ID: ids.New(), LastAccess: time.Minute},
+	}
+	got, ok := PickSegment(Space, segs)
+	if !ok || got.LastAccess != time.Second {
+		t.Errorf("PickSegment(Space) = %+v %v", got, ok)
+	}
+}
+
+func TestPickSegmentEmptyOrNone(t *testing.T) {
+	if _, ok := PickSegment(IOLoad, nil); ok {
+		t.Error("picked from empty set")
+	}
+	if _, ok := PickSegment(None, []SegmentInfo{{ID: ids.New()}}); ok {
+		t.Error("picked under None trigger")
+	}
+}
+
+func TestDestAlpha(t *testing.T) {
+	if DestAlpha(IOLoad) != AlphaIO || DestAlpha(Space) != AlphaSpace {
+		t.Error("alphas wrong")
+	}
+}
+
+func TestTriggerString(t *testing.T) {
+	if None.String() != "none" || IOLoad.String() != "io-load" || Space.String() != "space" {
+		t.Error("strings wrong")
+	}
+}
+
+func TestLocalityMove(t *testing.T) {
+	live := func(n wire.NodeID) bool { return n == "p2" || n == "p3" }
+	cases := []struct {
+		name             string
+		self, dom        wire.NodeID
+		share, threshold float64
+		want             bool
+	}{
+		{"moves to dominant live provider", "p1", "p2", 0.9, 0.6, true},
+		{"threshold not exceeded", "p1", "p2", 0.55, 0.6, false},
+		{"threshold at minimum rejected", "p1", "p2", 0.9, 0.5, false},
+		{"already local", "p2", "p2", 0.9, 0.6, false},
+		{"dominant not a provider", "p1", "client-7", 0.9, 0.6, false},
+		{"empty dominant", "p1", "", 0.9, 0.6, false},
+	}
+	for _, c := range cases {
+		if got := LocalityMove(c.self, c.dom, c.share, c.threshold, live); got != c.want {
+			t.Errorf("%s: LocalityMove = %v", c.name, got)
+		}
+	}
+}
+
+func TestDecideFloorsSuppressIdleChurn(t *testing.T) {
+	// A nearly empty cluster: one node has slightly more data than its
+	// peers, which makes it a >3σ outlier, but absolute usage is trivial —
+	// no migration should trigger.
+	cluster := flatCluster(10, 0.0, 0.001)
+	cluster[0].UsedFrac = 0.01
+	if got := Decide(cluster[0], cluster); got != None {
+		t.Errorf("near-empty cluster triggered %v", got)
+	}
+	cluster = flatCluster(10, 0.001, 0.5)
+	cluster[0].IOLoad = 0.05
+	if got := Decide(cluster[0], cluster); got != None {
+		t.Errorf("near-idle cluster triggered %v", got)
+	}
+}

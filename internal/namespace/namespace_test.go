@@ -1,0 +1,431 @@
+package namespace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/simtime"
+	"repro/internal/wire"
+)
+
+func newServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer(simtime.NewClock(0.0001), Config{OpCost: time.Microsecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMkdirLookupCreate(t *testing.T) {
+	s := newServer(t)
+	if r := s.Mkdir("/data"); !r.OK {
+		t.Fatalf("mkdir: %v", r.Err)
+	}
+	fid := ids.New()
+	if r := s.Create("/data/f1", fid, wire.DefaultAttrs()); !r.OK {
+		t.Fatalf("create: %v", r.Err)
+	}
+	r := s.Lookup("/data/f1")
+	if !r.OK || r.Entry.FileID != fid || r.Entry.Version != 0 {
+		t.Fatalf("lookup = %+v", r)
+	}
+	if s.Lookup("/data/nope").OK {
+		t.Error("lookup of missing file succeeded")
+	}
+	if s.Lookup("/data").OK {
+		t.Error("lookup of a directory returned a file entry")
+	}
+}
+
+func TestCreateRequiresParent(t *testing.T) {
+	s := newServer(t)
+	if r := s.Create("/no/such/dir/f", ids.New(), wire.DefaultAttrs()); r.OK {
+		t.Error("create without parent succeeded")
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	s := newServer(t)
+	s.Create("/f", ids.New(), wire.DefaultAttrs())
+	if r := s.Create("/f", ids.New(), wire.DefaultAttrs()); r.OK {
+		t.Error("duplicate create succeeded")
+	}
+}
+
+func TestMkdirNested(t *testing.T) {
+	s := newServer(t)
+	s.Mkdir("/a")
+	s.Mkdir("/a/b")
+	if r := s.Mkdir("/a/b"); r.OK {
+		t.Error("duplicate mkdir succeeded")
+	}
+	if r := s.Mkdir("/x/y"); r.OK {
+		t.Error("mkdir without parent succeeded")
+	}
+}
+
+func TestRmdir(t *testing.T) {
+	s := newServer(t)
+	s.Mkdir("/a")
+	s.Mkdir("/a/b")
+	if r := s.Rmdir("/a"); r.OK {
+		t.Error("rmdir of non-empty dir succeeded")
+	}
+	if r := s.Rmdir("/a/b"); !r.OK {
+		t.Errorf("rmdir: %v", r.Err)
+	}
+	if r := s.Rmdir("/a"); !r.OK {
+		t.Errorf("rmdir now-empty: %v", r.Err)
+	}
+}
+
+func TestRemoveReturnsEntry(t *testing.T) {
+	s := newServer(t)
+	fid := ids.New()
+	s.Create("/f", fid, wire.DefaultAttrs())
+	r := s.Remove("/f")
+	if !r.OK || r.Entry.FileID != fid {
+		t.Fatalf("remove = %+v", r)
+	}
+	if s.Lookup("/f").OK {
+		t.Error("file present after remove")
+	}
+	if r := s.Remove("/f"); r.OK {
+		t.Error("double remove succeeded")
+	}
+}
+
+func TestReadDir(t *testing.T) {
+	s := newServer(t)
+	s.Mkdir("/d")
+	s.Mkdir("/d/sub")
+	s.Create("/d/b", ids.New(), wire.DefaultAttrs())
+	s.Create("/d/a", ids.New(), wire.DefaultAttrs())
+	r := s.ReadDir("/d")
+	if !r.OK || len(r.Entries) != 3 {
+		t.Fatalf("readdir = %+v", r)
+	}
+	// Sorted: a, b, sub.
+	if r.Entries[0].Name != "a" || r.Entries[2].Name != "sub" || !r.Entries[2].IsDir {
+		t.Errorf("entries = %+v", r.Entries)
+	}
+	if r.Entries[0].Entry == nil {
+		t.Error("file entry missing in listing")
+	}
+	if rr := s.ReadDir("/d/a"); rr.OK {
+		t.Error("readdir of a file succeeded")
+	}
+	root := s.ReadDir("/")
+	if !root.OK || len(root.Entries) != 1 {
+		t.Errorf("root listing = %+v", root)
+	}
+}
+
+func TestCommitProtocol(t *testing.T) {
+	s := newServer(t)
+	s.Create("/f", ids.New(), wire.DefaultAttrs())
+
+	// Begin at base 0 succeeds.
+	b := s.CommitBegin(wire.NSCommitBegin{Path: "/f", BaseVer: 0})
+	if !b.OK || b.Ticket == 0 {
+		t.Fatalf("begin = %+v", b)
+	}
+	// A second begin while the window is open blocks.
+	if b2 := s.CommitBegin(wire.NSCommitBegin{Path: "/f", BaseVer: 0}); !b2.Blocked {
+		t.Fatalf("concurrent begin = %+v", b2)
+	}
+	// Complete advances the version.
+	if c := s.CommitComplete(wire.NSCommitComplete{Path: "/f", NewVer: 1, Ticket: b.Ticket, NewSize: 42}); !c.OK {
+		t.Fatalf("complete = %+v", c)
+	}
+	e := s.Lookup("/f").Entry
+	if e.Version != 1 || e.Size != 42 {
+		t.Fatalf("entry after commit = %+v", e)
+	}
+	// A stale base now conflicts.
+	if b3 := s.CommitBegin(wire.NSCommitBegin{Path: "/f", BaseVer: 0}); !b3.Conflict || b3.LatestVer != 1 {
+		t.Fatalf("stale begin = %+v", b3)
+	}
+	// Current base succeeds again.
+	if b4 := s.CommitBegin(wire.NSCommitBegin{Path: "/f", BaseVer: 1}); !b4.OK {
+		t.Fatalf("fresh begin = %+v", b4)
+	}
+}
+
+func TestCommitAbortReleasesWindow(t *testing.T) {
+	s := newServer(t)
+	s.Create("/f", ids.New(), wire.DefaultAttrs())
+	b := s.CommitBegin(wire.NSCommitBegin{Path: "/f", BaseVer: 0})
+	s.CommitAbort(wire.NSCommitAbort{Path: "/f", Ticket: b.Ticket})
+	if b2 := s.CommitBegin(wire.NSCommitBegin{Path: "/f", BaseVer: 0}); !b2.OK {
+		t.Fatalf("begin after abort = %+v", b2)
+	}
+}
+
+func TestCommitWindowExpires(t *testing.T) {
+	clock := simtime.NewClock(0.0001)
+	s, _ := NewServer(clock, Config{OpCost: time.Microsecond, CommitWindow: time.Second}, nil)
+	s.Create("/f", ids.New(), wire.DefaultAttrs())
+	s.CommitBegin(wire.NSCommitBegin{Path: "/f", BaseVer: 0})
+	clock.Sleep(5 * time.Second)
+	if b := s.CommitBegin(wire.NSCommitBegin{Path: "/f", BaseVer: 0}); !b.OK {
+		t.Fatalf("begin after window expiry = %+v", b)
+	}
+}
+
+func TestCommitBadTicket(t *testing.T) {
+	s := newServer(t)
+	s.Create("/f", ids.New(), wire.DefaultAttrs())
+	s.CommitBegin(wire.NSCommitBegin{Path: "/f", BaseVer: 0})
+	if c := s.CommitComplete(wire.NSCommitComplete{Path: "/f", NewVer: 1, Ticket: 999}); c.OK {
+		t.Error("commit with bad ticket succeeded")
+	}
+}
+
+func TestLeases(t *testing.T) {
+	s := newServer(t)
+	a := s.LeaseAcquire(wire.NSLeaseAcquire{Path: "/f", Owner: "alice", TTLSec: 60})
+	if !a.OK {
+		t.Fatalf("acquire = %+v", a)
+	}
+	// Bob is denied while alice holds it.
+	b := s.LeaseAcquire(wire.NSLeaseAcquire{Path: "/f", Owner: "bob", TTLSec: 60})
+	if b.OK || b.Holder != "alice" {
+		t.Fatalf("bob acquire = %+v", b)
+	}
+	// Re-acquire by the holder refreshes.
+	if a2 := s.LeaseAcquire(wire.NSLeaseAcquire{Path: "/f", Owner: "alice", TTLSec: 60}); !a2.OK {
+		t.Fatalf("refresh = %+v", a2)
+	}
+	s.LeaseRelease(wire.NSLeaseRelease{Path: "/f", Owner: "alice"})
+	if b2 := s.LeaseAcquire(wire.NSLeaseAcquire{Path: "/f", Owner: "bob", TTLSec: 60}); !b2.OK {
+		t.Fatalf("bob after release = %+v", b2)
+	}
+}
+
+func TestLeaseExpires(t *testing.T) {
+	clock := simtime.NewClock(0.0001)
+	s, _ := NewServer(clock, Config{OpCost: time.Microsecond}, nil)
+	s.LeaseAcquire(wire.NSLeaseAcquire{Path: "/f", Owner: "alice", TTLSec: 1})
+	clock.Sleep(5 * time.Second)
+	if b := s.LeaseAcquire(wire.NSLeaseAcquire{Path: "/f", Owner: "bob", TTLSec: 60}); !b.OK {
+		t.Fatalf("acquire after expiry = %+v", b)
+	}
+}
+
+func TestLeaseReleaseWrongOwnerIgnored(t *testing.T) {
+	s := newServer(t)
+	s.LeaseAcquire(wire.NSLeaseAcquire{Path: "/f", Owner: "alice", TTLSec: 60})
+	s.LeaseRelease(wire.NSLeaseRelease{Path: "/f", Owner: "bob"})
+	if b := s.LeaseAcquire(wire.NSLeaseAcquire{Path: "/f", Owner: "bob", TTLSec: 60}); b.OK {
+		t.Error("lease stolen via foreign release")
+	}
+}
+
+func TestWALRecovery(t *testing.T) {
+	wal := &MemWAL{}
+	clock := simtime.NewClock(0.0001)
+	s, _ := NewServer(clock, Config{OpCost: time.Microsecond}, wal)
+	s.Mkdir("/d")
+	fid := ids.New()
+	s.Create("/d/f", fid, wire.DefaultAttrs())
+	b := s.CommitBegin(wire.NSCommitBegin{Path: "/d/f", BaseVer: 0})
+	s.CommitComplete(wire.NSCommitComplete{Path: "/d/f", NewVer: 1, Ticket: b.Ticket, NewSize: 10})
+	s.Create("/d/g", ids.New(), wire.DefaultAttrs())
+	s.Remove("/d/g")
+
+	// "Crash" and recover into a fresh server from the same WAL.
+	s2, err := NewServer(clock, Config{OpCost: time.Microsecond}, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s2.Lookup("/d/f")
+	if !r.OK || r.Entry.FileID != fid || r.Entry.Version != 1 || r.Entry.Size != 10 {
+		t.Fatalf("recovered entry = %+v", r)
+	}
+	if s2.Lookup("/d/g").OK {
+		t.Error("removed file resurrected")
+	}
+}
+
+func TestCheckpointCompactsAndRecovers(t *testing.T) {
+	wal := &MemWAL{}
+	clock := simtime.NewClock(0.0001)
+	s, _ := NewServer(clock, Config{OpCost: time.Microsecond, CheckpointEvery: 5}, wal)
+	s.Mkdir("/d")
+	for i := 0; i < 10; i++ {
+		s.Create("/d/f"+string(rune('0'+i)), ids.New(), wire.DefaultAttrs())
+	}
+	if wal.OpCount() >= 11 {
+		t.Errorf("WAL not compacted: %d ops", wal.OpCount())
+	}
+	s2, err := NewServer(clock, Config{OpCost: time.Microsecond}, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s2.ReadDir("/d")
+	if !r.OK || len(r.Entries) != 10 {
+		t.Fatalf("recovered listing = %d entries", len(r.Entries))
+	}
+}
+
+func TestFileWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	wal, err := NewFileWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simtime.NewClock(0.0001)
+	s, _ := NewServer(clock, Config{OpCost: time.Microsecond, CheckpointEvery: 3}, wal)
+	s.Mkdir("/d")
+	fid := ids.New()
+	s.Create("/d/f", fid, wire.DefaultAttrs())
+	s.Create("/d/g", ids.New(), wire.DefaultAttrs())
+	s.Remove("/d/g") // 4 ops → one checkpoint happened at op 3
+	wal.Close()
+
+	wal2, err := NewFileWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	s2, err := NewServer(clock, Config{OpCost: time.Microsecond}, wal2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := s2.Lookup("/d/f"); !r.OK || r.Entry.FileID != fid {
+		t.Fatalf("recovered = %+v", r)
+	}
+	if s2.Lookup("/d/g").OK {
+		t.Error("removed file recovered")
+	}
+}
+
+func TestHandleDispatch(t *testing.T) {
+	s := newServer(t)
+	resp, err := s.Handle(wire.NSMkdir{Path: "/x"})
+	if err != nil || !resp.(wire.NSGenericResp).OK {
+		t.Fatalf("Handle mkdir: %v %v", resp, err)
+	}
+	if _, err := s.Handle(42); err == nil {
+		t.Error("unknown request type accepted")
+	}
+	resp, _ = s.Handle(wire.NSReadDir{Path: "/"})
+	if !resp.(wire.NSReadDirResp).OK {
+		t.Error("Handle readdir failed")
+	}
+}
+
+func TestThroughputBound(t *testing.T) {
+	// With the paper's 770µs op cost, the server should do ~1300 ops/s of
+	// modeled time.
+	clock := simtime.NewClock(0.0001)
+	s, _ := NewServer(clock, Config{OpCost: 770 * time.Microsecond}, nil)
+	s.Mkdir("/d")
+	sw := clock.Start()
+	const n = 200
+	for i := 0; i < n; i++ {
+		s.Lookup("/d")
+	}
+	elapsed := sw.Elapsed().Seconds()
+	rate := float64(n) / elapsed
+	if rate > 1600 {
+		t.Errorf("namespace rate %v ops/s, want ≤ ~1300 modeled", rate)
+	}
+}
+
+func TestConcurrentNamespaceOps(t *testing.T) {
+	// The server must stay consistent under concurrent creates, commits,
+	// lookups, and removes from many goroutines (clients hit one shared
+	// namespace server in every experiment).
+	s := newServer(t)
+	s.Mkdir("/d")
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				path := fmt.Sprintf("/d/w%d-%d", w, i)
+				if r := s.Create(path, ids.New(), wire.DefaultAttrs()); !r.OK {
+					errs <- "create: " + r.Err
+					return
+				}
+				b := s.CommitBegin(wire.NSCommitBegin{Path: path, BaseVer: 0})
+				if !b.OK {
+					errs <- "begin failed"
+					return
+				}
+				if c := s.CommitComplete(wire.NSCommitComplete{Path: path, NewVer: 1, Ticket: b.Ticket, NewSize: 1}); !c.OK {
+					errs <- "complete: " + c.Err
+					return
+				}
+				if l := s.Lookup(path); !l.OK || l.Entry.Version != 1 {
+					errs <- "lookup inconsistency"
+					return
+				}
+				if i%3 == 0 {
+					if r := s.Remove(path); !r.OK {
+						errs <- "remove: " + r.Err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	// Final listing is consistent: each worker kept 13 of 20 files
+	// (removed every third: i=0,3,6,9,12,15,18 → 7 removed).
+	r := s.ReadDir("/d")
+	if !r.OK || len(r.Entries) != 8*13 {
+		t.Fatalf("final listing = %d entries, want %d", len(r.Entries), 8*13)
+	}
+}
+
+func TestConcurrentCommitWindowsSerialize(t *testing.T) {
+	s := newServer(t)
+	s.Create("/f", ids.New(), wire.DefaultAttrs())
+	// Many goroutines race to commit; exactly the winners in version order
+	// may complete, and the final version equals the number of successful
+	// completes.
+	var mu sync.Mutex
+	completed := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tries := 0; tries < 10; tries++ {
+				e := s.Lookup("/f").Entry
+				b := s.CommitBegin(wire.NSCommitBegin{Path: "/f", BaseVer: e.Version})
+				if !b.OK {
+					continue
+				}
+				c := s.CommitComplete(wire.NSCommitComplete{Path: "/f", NewVer: e.Version + 1, Ticket: b.Ticket})
+				if c.OK {
+					mu.Lock()
+					completed++
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	final := s.Lookup("/f").Entry.Version
+	if final != uint64(completed) {
+		t.Fatalf("final version %d != %d successful commits", final, completed)
+	}
+	if completed == 0 {
+		t.Fatal("no commit ever succeeded")
+	}
+}

@@ -1,0 +1,366 @@
+package provider
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/segstore"
+	"repro/internal/wire"
+)
+
+// handler adapts a Provider to transport.Handler without exporting the
+// methods on Provider itself.
+type handler Provider
+
+func (h *handler) p() *Provider { return (*Provider)(h) }
+
+// HandleCall implements transport.Handler.
+func (h *handler) HandleCall(ctx context.Context, from wire.NodeID, req any) (any, error) {
+	p := h.p()
+	switch m := req.(type) {
+	case wire.SegRead:
+		return p.handleRead(from, m), nil
+	case wire.SegCreate:
+		return p.handleCreate(from, m), nil
+	case wire.SegShadow:
+		return p.handleShadow(m), nil
+	case wire.SegWrite:
+		return p.handleWrite(from, m), nil
+	case wire.SegShadowRead:
+		return p.handleShadowRead(m), nil
+	case wire.SegTruncate:
+		p.charge()
+		return genResp(p.store.TruncateShadow(m.Owner, m.Seg, m.Size)), nil
+	case wire.SegRenew:
+		p.charge()
+		return genResp(p.store.Renew(m.Owner, m.Seg, time.Duration(m.TTLSec*float64(time.Second)))), nil
+	case wire.SegDrop:
+		p.charge()
+		return genResp(p.store.Drop(m.Owner, m.Seg)), nil
+	case wire.SegDelete:
+		p.charge()
+		err := p.store.Delete(m.Seg)
+		if err == nil {
+			p.notifyHome(m.Seg, true)
+		}
+		return genResp(err), nil
+	case wire.SegPin:
+		p.charge()
+		if m.Unpin {
+			return genResp(p.store.UnpinVersion(m.Seg, m.Version)), nil
+		}
+		return genResp(p.store.PinVersion(m.Seg, m.Version)), nil
+	case wire.SegStat:
+		p.charge()
+		st := p.store.Stat(m.Seg)
+		return wire.SegStatResp{OK: st.Present, Version: st.Version, Size: st.Size, Shadow: st.HasShadow}, nil
+	case wire.SegFetch:
+		return p.handleFetch(m), nil
+	case wire.SegFetchDelta:
+		return p.handleFetchDelta(m), nil
+	case wire.Prepare2PC:
+		return p.handlePrepare(m), nil
+	case wire.Commit2PC:
+		return p.handleCommit(m), nil
+	case wire.Abort2PC:
+		return p.handleAbort(m), nil
+	case wire.LocRefresh:
+		p.charge()
+		p.table.Refresh(m.From, m.Entries)
+		return wire.GenericResp{OK: true}, nil
+	case wire.LocUpdate:
+		p.charge()
+		p.table.Update(m.From, m.Entry, m.Removed)
+		if !m.Removed {
+			// Version advance: start update propagation to stale replicas
+			// right away (Figure 6 steps 10–12); the periodic repair scan
+			// remains the backstop.
+			p.propagateSeg(m.Entry.Seg)
+		}
+		return wire.GenericResp{OK: true}, nil
+	case wire.LocQuery:
+		p.charge()
+		owners := p.table.Owners(m.Seg)
+		return wire.LocQueryResp{OK: len(owners) > 0, Owners: owners}, nil
+	case wire.SyncNotify:
+		return p.handleSync(m), nil
+	case wire.ReplicateNotify:
+		return p.handleReplicate(m), nil
+	case wire.MigrateRequest:
+		return genResp(p.migrateSegment(m.Seg, m.Dest)), nil
+	default:
+		return nil, fmt.Errorf("provider %s: unknown request %T", p.id, req)
+	}
+}
+
+// HandleCast implements transport.Handler: heartbeats feed membership, and
+// multicast location probes (the backup scheme, §3.4.2) are answered with a
+// unicast response when this node owns the segment.
+func (h *handler) HandleCast(from wire.NodeID, msg any) {
+	p := h.p()
+	switch m := msg.(type) {
+	case wire.Heartbeat:
+		p.members.ObserveHeartbeat(m)
+	case wire.LocProbe:
+		st := p.store.Stat(m.Seg)
+		if !st.Present {
+			return
+		}
+		resp := wire.LocProbeResp{Seg: m.Seg, Nonce: m.Nonce, Owner: p.id, Version: st.Version}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.call(m.Asker, resp)
+		}()
+	}
+}
+
+func genResp(err error) wire.GenericResp {
+	if err != nil {
+		return wire.GenericResp{Err: err.Error()}
+	}
+	return wire.GenericResp{OK: true}
+}
+
+// handleRead serves segment data when this node owns the segment; when it
+// is only the home host it redirects to the owners; otherwise it reports
+// failure so the client can fall back to the multicast probe.
+func (p *Provider) handleRead(from wire.NodeID, m wire.SegRead) wire.SegReadResp {
+	p.charge()
+	data, ver, err := p.store.Read(m.Seg, m.Version, m.Offset, m.Length)
+	switch {
+	case err == nil:
+		p.store.RecordAccess(m.Seg, from, int64(len(data)))
+		return wire.SegReadResp{OK: true, Version: ver, Data: data, EOF: int64(len(data)) < m.Length}
+	case errors.Is(err, segstore.ErrNotFound), errors.Is(err, segstore.ErrNoVersion):
+		owners := p.table.Owners(m.Seg)
+		if len(owners) > 0 {
+			return wire.SegReadResp{OK: true, Redirect: true, Owners: owners}
+		}
+		return wire.SegReadResp{Err: err.Error()}
+	default:
+		return wire.SegReadResp{Err: err.Error()}
+	}
+}
+
+// handleCreate materializes a new segment placed on this node.
+func (p *Provider) handleCreate(from wire.NodeID, m wire.SegCreate) wire.SegCreateResp {
+	p.charge()
+	ver := m.Version
+	if ver == 0 {
+		ver = 1
+	}
+	var err error
+	if ver == 1 {
+		err = p.store.Create(m.Seg, m.Data, m.ReplDeg, m.LocalityThreshold, m.Direct)
+	} else {
+		err = p.store.Install(m.Seg, ver, m.Data, m.ReplDeg, m.LocalityThreshold)
+	}
+	if err != nil {
+		return wire.SegCreateResp{Err: err.Error()}
+	}
+	p.store.RecordAccess(m.Seg, from, int64(len(m.Data)))
+	p.notifyHome(m.Seg, false)
+	return wire.SegCreateResp{OK: true}
+}
+
+func (p *Provider) handleShadow(m wire.SegShadow) wire.SegShadowResp {
+	p.charge()
+	replDeg := m.ReplDeg
+	if replDeg <= 0 {
+		replDeg = 1
+	}
+	created, size, err := p.store.Shadow(m.Owner, m.Seg, m.BaseVer, time.Duration(m.TTLSec*float64(time.Second)), replDeg, m.LocalityThreshold)
+	if err != nil {
+		return wire.SegShadowResp{Err: err.Error()}
+	}
+	return wire.SegShadowResp{OK: true, Size: size, Created: created}
+}
+
+func (p *Provider) handleWrite(from wire.NodeID, m wire.SegWrite) wire.SegWriteResp {
+	p.charge()
+	if m.Direct {
+		if err := p.store.WriteDirect(m.Seg, m.Offset, m.Data); err != nil {
+			return wire.SegWriteResp{Err: err.Error()}
+		}
+		p.store.RecordAccess(m.Seg, from, int64(len(m.Data)))
+		return wire.SegWriteResp{OK: true, N: len(m.Data)}
+	}
+	n, err := p.store.WriteShadow(m.Owner, m.Seg, m.Offset, m.Data)
+	if err != nil {
+		return wire.SegWriteResp{Err: err.Error()}
+	}
+	p.store.RecordAccess(m.Seg, from, int64(n))
+	return wire.SegWriteResp{OK: true, N: n}
+}
+
+func (p *Provider) handleShadowRead(m wire.SegShadowRead) wire.SegReadResp {
+	p.charge()
+	data, err := p.store.ReadShadow(m.Owner, m.Seg, m.Offset, m.Length)
+	if err != nil {
+		return wire.SegReadResp{Err: err.Error()}
+	}
+	return wire.SegReadResp{OK: true, Data: data, EOF: int64(len(data)) < m.Length}
+}
+
+func (p *Provider) handleFetch(m wire.SegFetch) wire.SegFetchResp {
+	p.charge()
+	data, ver, replDeg, locThresh, err := p.store.Fetch(m.Seg, m.Version)
+	if err != nil {
+		return wire.SegFetchResp{Err: err.Error()}
+	}
+	return wire.SegFetchResp{OK: true, Version: ver, Data: data, ReplDeg: replDeg, LocalityThreshold: locThresh}
+}
+
+func (p *Provider) handleFetchDelta(m wire.SegFetchDelta) wire.SegFetchDeltaResp {
+	p.charge()
+	ranges, size, ver, replDeg, locThresh, full, err := p.store.FetchDelta(m.Seg, m.HaveVer)
+	if err != nil {
+		return wire.SegFetchDeltaResp{Err: err.Error()}
+	}
+	return wire.SegFetchDeltaResp{
+		OK: true, Version: ver, Size: size, Ranges: ranges,
+		FullFallback: full != nil, Full: full,
+		ReplDeg: replDeg, LocalityThreshold: locThresh,
+	}
+}
+
+func (p *Provider) handlePrepare(m wire.Prepare2PC) wire.Prepare2PCResp {
+	p.charge()
+	resp := wire.Prepare2PCResp{OK: true}
+	for i, seg := range m.Segs {
+		ver, size, err := p.store.Prepare(m.Owner, seg)
+		if err != nil {
+			// Roll back the segments prepared so far in this request.
+			for _, done := range m.Segs[:i] {
+				p.store.AbortPrepared(m.Owner, done)
+			}
+			return wire.Prepare2PCResp{Err: err.Error()}
+		}
+		resp.PlannedVers = append(resp.PlannedVers, ver)
+		resp.Sizes = append(resp.Sizes, size)
+	}
+	return resp
+}
+
+func (p *Provider) handleCommit(m wire.Commit2PC) wire.GenericResp {
+	p.charge()
+	for _, seg := range m.Segs {
+		if _, _, err := p.store.CommitPrepared(m.Owner, seg); err != nil {
+			return wire.GenericResp{Err: fmt.Sprintf("commit %s: %v", seg.Short(), err)}
+		}
+		// Fast-path location update: the segment's version advanced
+		// (paper §3.4.1 event 4, Figure 6 step 10).
+		p.notifyHome(seg, false)
+	}
+	return wire.GenericResp{OK: true}
+}
+
+func (p *Provider) handleAbort(m wire.Abort2PC) wire.GenericResp {
+	p.charge()
+	for _, seg := range m.Segs {
+		p.store.AbortPrepared(m.Owner, seg)
+	}
+	return wire.GenericResp{OK: true}
+}
+
+// handleSync pulls the latest version of a stale local replica from source
+// (lazy update propagation, §3.6).
+func (p *Provider) handleSync(m wire.SyncNotify) wire.GenericResp {
+	p.charge()
+	st := p.store.Stat(m.Seg)
+	if !st.Present || st.Version >= m.Version {
+		return wire.GenericResp{OK: true} // nothing to do
+	}
+	return p.pullSegment(m.Seg, m.Version, m.Source, 0, 0)
+}
+
+// handleReplicate makes this node a new replica site by pulling from source.
+func (p *Provider) handleReplicate(m wire.ReplicateNotify) wire.GenericResp {
+	p.charge()
+	if st := p.store.Stat(m.Seg); st.Present && st.Version >= m.Version {
+		return wire.GenericResp{OK: true}
+	}
+	return p.pullSegment(m.Seg, m.Version, m.Source, m.ReplDeg, m.LocalityThreshold)
+}
+
+// pullSegment brings the local replica up to the source's latest version:
+// delta sync when a local base version exists (paper §3.6: replicas
+// "retrieve the updates"), full fetch otherwise. Concurrent pulls of the
+// same segment are coalesced — repair scans re-notify long before a big
+// transfer finishes, and duplicate fetches would melt the links.
+func (p *Provider) pullSegment(seg [16]byte, ver uint64, source wire.NodeID, replDeg int, locThresh float64) wire.GenericResp {
+	p.mu.Lock()
+	if p.pulling[seg] {
+		p.mu.Unlock()
+		return wire.GenericResp{OK: true} // already in progress
+	}
+	p.pulling[seg] = true
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.pulling, seg)
+		p.mu.Unlock()
+	}()
+	// Bound concurrent pulls so background sync cannot starve foreground
+	// traffic.
+	p.pullSem <- struct{}{}
+	defer func() { <-p.pullSem }()
+
+	local := p.store.Stat(seg)
+	if local.Present && local.Version > 0 {
+		resp, err := p.call(source, wire.SegFetchDelta{Seg: seg, HaveVer: local.Version})
+		if err != nil {
+			return wire.GenericResp{Err: err.Error()}
+		}
+		d, ok := resp.(wire.SegFetchDeltaResp)
+		if ok && d.OK {
+			if d.Version <= local.Version {
+				return wire.GenericResp{OK: true} // already current
+			}
+			if !d.FullFallback {
+				if err := p.store.ApplyDelta(seg, local.Version, d.Version, d.Ranges, d.Size, replDeg, locThresh); err == nil {
+					p.notifyHomeSync(seg)
+					return wire.GenericResp{OK: true}
+				}
+				// Local state moved underneath us; fall through to a full
+				// fetch.
+			} else {
+				if err := p.store.Install(seg, d.Version, d.Full, orDefault(replDeg, d.ReplDeg), orDefaultF(locThresh, d.LocalityThreshold)); err != nil {
+					return wire.GenericResp{Err: err.Error()}
+				}
+				p.notifyHomeSync(seg)
+				return wire.GenericResp{OK: true}
+			}
+		}
+	}
+	resp, err := p.call(source, wire.SegFetch{Seg: seg, Version: 0})
+	if err != nil {
+		return wire.GenericResp{Err: err.Error()}
+	}
+	f, ok := resp.(wire.SegFetchResp)
+	if !ok || !f.OK {
+		return wire.GenericResp{Err: "fetch failed: " + f.Err}
+	}
+	if err := p.store.Install(seg, f.Version, f.Data, orDefault(replDeg, f.ReplDeg), orDefaultF(locThresh, f.LocalityThreshold)); err != nil {
+		return wire.GenericResp{Err: err.Error()}
+	}
+	p.notifyHomeSync(seg)
+	return wire.GenericResp{OK: true}
+}
+
+func orDefault(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+func orDefaultF(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,567 @@
+// Package provider implements the Sorrento storage provider daemon: the
+// process that exports a node's locally attached disk into a volume. It
+// ties together the versioned segment store (segment I/O, shadows, 2PC),
+// the location table (this node's home-host role), membership announcement
+// and monitoring, lazy replica synchronization and repair (§3.6), and hosts
+// the data migration engine (§3.7).
+package provider
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/ids"
+	"repro/internal/locate"
+	"repro/internal/membership"
+	"repro/internal/placement"
+	"repro/internal/segstore"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Config tunes a provider.
+type Config struct {
+	// OpCost is the modeled user-level request-processing overhead charged
+	// per segment RPC (kernel crossings, user-level daemon work). The
+	// paper's Figure 9 latencies imply several milliseconds per RPC.
+	OpCost time.Duration
+	// RefreshInterval is the periodic content-refresh cycle (paper: 15 min).
+	RefreshInterval time.Duration
+	// JoinDelayMax is the random delay before refreshing a newly joined
+	// provider (paper: within 20 s).
+	JoinDelayMax time.Duration
+	// GarbageAge is the location-table entry age beyond which entries are
+	// purged (should exceed RefreshInterval).
+	GarbageAge time.Duration
+	// RepairInterval is how often the home-host role scans for stale or
+	// under-replicated segments.
+	RepairInterval time.Duration
+	// RepairBatch caps sync/replicate notifications per scan, shaping the
+	// background recovery rate.
+	RepairBatch int
+	// MaxPulls caps concurrent replica pulls on this node so background
+	// synchronization cannot starve foreground traffic (the paper limits
+	// migration to one active process per node for the same reason).
+	MaxPulls int
+	// Membership tunes heartbeats and failure detection.
+	Membership membership.Config
+	// Rack labels this node's failure domain; repair places new replicas
+	// on other racks when possible (rack-aware placement, §3.7.2).
+	Rack string
+	// Seed seeds placement decisions and jitter.
+	Seed int64
+	// HeartbeatLoadEWMA smooths the utilization samples gossiped in
+	// heartbeats.
+	HeartbeatLoadEWMA float64
+	// Migration tunes the migration engine; see Migration type.
+	Migration MigrationConfig
+}
+
+// NoOpCost disables the modeled per-RPC processing charge — real daemons
+// (simtime scale 1) pay their actual execution time instead.
+const NoOpCost = -1 * time.Millisecond
+
+// DefaultConfig returns the paper's settings (with a shorter refresh cycle
+// left to experiments that need it).
+func DefaultConfig() Config {
+	return Config{
+		OpCost:            5 * time.Millisecond,
+		RefreshInterval:   15 * time.Minute,
+		JoinDelayMax:      20 * time.Second,
+		GarbageAge:        38 * time.Minute, // 2.5 × refresh
+		RepairInterval:    5 * time.Second,
+		RepairBatch:       4,
+		MaxPulls:          2,
+		Membership:        membership.DefaultConfig(),
+		Seed:              1,
+		HeartbeatLoadEWMA: 0.3,
+		Migration:         DefaultMigrationConfig(),
+	}
+}
+
+// Provider is one storage provider daemon.
+type Provider struct {
+	id    wire.NodeID
+	clock *simtime.Clock
+	cfg   Config
+
+	ep       transport.Endpoint
+	store    *segstore.Store
+	table    *locate.Table
+	members  *membership.Manager
+	ann      *membership.Announcer
+	selector *placement.Selector
+	cpu      *simtime.Resource
+	util     *simtime.UtilizationSampler
+	loadEWMA *stats.EWMA
+	ioEWMA   *stats.EWMA
+
+	pullSem chan struct{} // bounds concurrent replica pulls
+
+	mu       sync.Mutex
+	lastHome map[ids.SegID]wire.NodeID // where each local segment was last registered
+	pulling  map[ids.SegID]bool        // replica pulls in flight (coalesced)
+	migrBusy bool                      // one active migration per node (§3.7.1)
+	rng      *rand.Rand
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New constructs a provider on the given network. extraResources (e.g. the
+// node's NIC directions) are folded into the utilization it gossips.
+func New(id wire.NodeID, clock *simtime.Clock, cfg Config, network transport.Network, d *disk.Disk, extraResources ...*simtime.Resource) (*Provider, error) {
+	def := DefaultConfig()
+	if cfg.OpCost == 0 {
+		cfg.OpCost = def.OpCost
+	}
+	if cfg.RefreshInterval <= 0 {
+		cfg.RefreshInterval = def.RefreshInterval
+	}
+	if cfg.JoinDelayMax <= 0 {
+		cfg.JoinDelayMax = def.JoinDelayMax
+	}
+	if cfg.GarbageAge <= 0 {
+		cfg.GarbageAge = cfg.RefreshInterval*2 + cfg.RefreshInterval/2
+	}
+	if cfg.RepairInterval <= 0 {
+		cfg.RepairInterval = def.RepairInterval
+	}
+	if cfg.RepairBatch <= 0 {
+		cfg.RepairBatch = def.RepairBatch
+	}
+	if cfg.MaxPulls <= 0 {
+		cfg.MaxPulls = def.MaxPulls
+	}
+	if cfg.HeartbeatLoadEWMA <= 0 {
+		cfg.HeartbeatLoadEWMA = def.HeartbeatLoadEWMA
+	}
+	if cfg.Membership.HeartbeatInterval <= 0 {
+		cfg.Membership.HeartbeatInterval = membership.DefaultConfig().HeartbeatInterval
+	}
+	if cfg.Membership.FailureFactor <= 0 {
+		cfg.Membership.FailureFactor = membership.DefaultConfig().FailureFactor
+	}
+	cfg.Migration = cfg.Migration.withDefaults()
+
+	p := &Provider{
+		id:       id,
+		clock:    clock,
+		cfg:      cfg,
+		store:    segstore.New(clock, d),
+		table:    locate.NewTable(clock),
+		members:  membership.NewManager(clock, cfg.Membership),
+		selector: placement.NewSelector(cfg.Seed),
+		cpu:      simtime.NewResource(clock, string(id)+"/cpu"),
+		loadEWMA: stats.NewEWMA(cfg.HeartbeatLoadEWMA),
+		ioEWMA:   stats.NewEWMA(cfg.HeartbeatLoadEWMA),
+		pullSem:  make(chan struct{}, cfg.MaxPulls),
+		lastHome: make(map[ids.SegID]wire.NodeID),
+		pulling:  make(map[ids.SegID]bool),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		stop:     make(chan struct{}),
+	}
+	res := append([]*simtime.Resource{d.Resource(), p.cpu}, extraResources...)
+	p.util = simtime.NewUtilizationSampler(clock, res...)
+	ep, err := network.Join(id, (*handler)(p))
+	if err != nil {
+		return nil, err
+	}
+	p.ep = ep
+	p.ann = membership.NewAnnouncer(clock, cfg.Membership, ep, p.loadInfo, p.members.ObserveHeartbeat)
+	p.members.Subscribe(p.onMembershipEvent)
+	return p, nil
+}
+
+// ID returns the provider's node ID.
+func (p *Provider) ID() wire.NodeID { return p.id }
+
+// Store exposes the segment store (tests, experiment harness).
+func (p *Provider) Store() *segstore.Store { return p.store }
+
+// Table exposes the location table (tests).
+func (p *Provider) Table() *locate.Table { return p.table }
+
+// Members exposes the membership view.
+func (p *Provider) Members() *membership.Manager { return p.members }
+
+// Endpoint exposes the transport endpoint.
+func (p *Provider) Endpoint() transport.Endpoint { return p.ep }
+
+// Start launches the daemon's background loops.
+func (p *Provider) Start() {
+	p.members.Start()
+	p.ann.Start()
+	p.loop(p.cfg.RefreshInterval, p.refreshAll)
+	p.loop(p.cfg.RefreshInterval, func() { p.table.PurgeGarbage(p.cfg.GarbageAge) })
+	p.loop(p.cfg.RepairInterval, p.repairScan)
+	p.loop(p.cfg.Membership.HeartbeatInterval, p.sampleLoad)
+	expireEvery := 30 * time.Second
+	if floor := p.clock.Modeled(time.Second); floor > expireEvery {
+		expireEvery = floor
+	}
+	p.loop(expireEvery, func() { p.store.ExpireShadows() })
+	p.loop(p.cfg.Migration.Interval, p.migrationTick)
+}
+
+// Stop halts the daemon. The endpoint stays open unless Kill is used.
+func (p *Provider) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.ann.Stop()
+	p.members.Stop()
+	p.wg.Wait()
+}
+
+// Kill simulates a crash: all loops stop and the endpoint goes silent.
+func (p *Provider) Kill() {
+	p.Stop()
+	p.ep.Close()
+}
+
+// loop runs fn every interval until Stop.
+func (p *Provider) loop(interval time.Duration, fn func()) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		t := p.clock.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				fn()
+			}
+		}
+	}()
+}
+
+// sampleLoad folds a fresh utilization sample into the gossiped EWMAs.
+func (p *Provider) sampleLoad() {
+	u := p.util.Sample()
+	p.loadEWMA.Add(u)
+	p.ioEWMA.Add(u)
+}
+
+// loadInfo snapshots the load/space state for heartbeats.
+func (p *Provider) loadInfo() wire.LoadInfo {
+	d := p.store.Disk()
+	return wire.LoadInfo{
+		Rack:       p.cfg.Rack,
+		Load:       p.loadEWMA.Value(),
+		IOWaitEWMA: p.ioEWMA.Value(),
+		FreeBytes:  d.FreeBytes(),
+		TotalBytes: d.Capacity(),
+	}
+}
+
+// charge models per-RPC server processing cost (disabled via NoOpCost).
+func (p *Provider) charge() {
+	if p.cfg.OpCost > 0 {
+		p.cpu.Use(p.cfg.OpCost)
+	}
+}
+
+// homeOf computes the current home host for a segment.
+func (p *Provider) homeOf(seg ids.SegID) wire.NodeID { return p.members.HomeOf(seg) }
+
+// notifyHomeSync registers a local segment with its home host and waits
+// for the acknowledgment. Replica pulls use it before confirming success,
+// so a migration source cannot erase its copy while the destination is
+// still unregistered (the location table would transiently go empty).
+func (p *Provider) notifyHomeSync(seg ids.SegID) {
+	st := p.store.Stat(seg)
+	home := p.homeOf(seg)
+	if home == "" {
+		return
+	}
+	e := wire.LocEntry{
+		Seg:               seg,
+		Version:           st.Version,
+		Size:              st.Size,
+		ReplDeg:           st.ReplDeg,
+		LocalityThreshold: p.store.LocalityThreshold(seg),
+	}
+	p.mu.Lock()
+	p.lastHome[seg] = home
+	p.mu.Unlock()
+	if home == p.id {
+		p.table.Update(p.id, e, false)
+		return
+	}
+	p.call(home, wire.LocUpdate{From: p.id, Entry: e})
+}
+
+// notifyHome sends a fast-path location update for one local segment.
+func (p *Provider) notifyHome(seg ids.SegID, removed bool) {
+	st := p.store.Stat(seg)
+	home := p.homeOf(seg)
+	if home == "" {
+		return
+	}
+	e := wire.LocEntry{
+		Seg:               seg,
+		Version:           st.Version,
+		Size:              st.Size,
+		ReplDeg:           st.ReplDeg,
+		LocalityThreshold: p.store.LocalityThreshold(seg),
+	}
+	p.mu.Lock()
+	if removed {
+		delete(p.lastHome, seg)
+	} else {
+		p.lastHome[seg] = home
+	}
+	p.mu.Unlock()
+	if home == p.id {
+		p.table.Update(p.id, e, removed)
+		if !removed {
+			p.propagateSeg(seg)
+		}
+		return
+	}
+	go p.call(home, wire.LocUpdate{From: p.id, Entry: e, Removed: removed})
+}
+
+// call is a fire-and-check RPC helper for background traffic.
+func (p *Provider) call(to wire.NodeID, req any) (any, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	return p.ep.Call(ctx, to, req)
+}
+
+// onMembershipEvent reacts to provider joins and departures (paper §3.4.1
+// events 2 and 3).
+func (p *Provider) onMembershipEvent(e membership.Event) {
+	if e.Node == p.id {
+		return
+	}
+	if e.Joined {
+		// Refresh the newcomer after a short random delay to avoid
+		// stampeding it (paper §3.4.1 event 2). The refresh covers every
+		// local segment the newcomer is now home for — unconditionally,
+		// since a (re)joined node may have lost its soft state.
+		p.mu.Lock()
+		delay := time.Duration(p.rng.Int63n(int64(p.cfg.JoinDelayMax)))
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			select {
+			case <-p.stop:
+				return
+			case <-p.clock.After(delay):
+			}
+			p.refreshTo(e.Node)
+			p.rehome()
+		}()
+		return
+	}
+	// Departure: drop its entries from our table and re-home our segments
+	// whose locations it used to track.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.table.RemoveOwner(e.Node)
+		p.rehome()
+	}()
+}
+
+// refreshTo sends node every local entry it is currently the home host
+// for, regardless of registration history.
+func (p *Provider) refreshTo(node wire.NodeID) {
+	var list []wire.LocEntry
+	for _, e := range p.storeEntries() {
+		if p.homeOf(e.Seg) == node {
+			list = append(list, e)
+		}
+	}
+	if len(list) == 0 {
+		return
+	}
+	p.mu.Lock()
+	for _, e := range list {
+		p.lastHome[e.Seg] = node
+	}
+	p.mu.Unlock()
+	if node == p.id {
+		p.table.Refresh(p.id, list)
+		return
+	}
+	p.call(node, wire.LocRefresh{From: p.id, Entries: list})
+}
+
+// rehome re-registers local segments whose home host changed since their
+// last registration (covers both node joins and departures).
+func (p *Provider) rehome() {
+	entries := p.storeEntries()
+	byHome := locate.GroupByHome(entries, p.homeOf)
+	p.mu.Lock()
+	changed := make(map[wire.NodeID][]wire.LocEntry)
+	for home, list := range byHome {
+		for _, e := range list {
+			if p.lastHome[e.Seg] != home {
+				changed[home] = append(changed[home], e)
+				p.lastHome[e.Seg] = home
+			}
+		}
+	}
+	p.mu.Unlock()
+	for home, list := range changed {
+		if home == p.id {
+			p.table.Refresh(p.id, list)
+			continue
+		}
+		home, list := home, list
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.call(home, wire.LocRefresh{From: p.id, Entries: list})
+		}()
+	}
+}
+
+// refreshAll performs the periodic content refresh to every home host.
+func (p *Provider) refreshAll() {
+	entries := p.storeEntries()
+	byHome := locate.GroupByHome(entries, p.homeOf)
+	p.mu.Lock()
+	for _, list := range byHome {
+		for _, e := range list {
+			p.lastHome[e.Seg] = p.homeOf(e.Seg)
+		}
+	}
+	p.mu.Unlock()
+	for home, list := range byHome {
+		if home == p.id {
+			p.table.Refresh(p.id, list)
+			continue
+		}
+		home, list := home, list
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.call(home, wire.LocRefresh{From: p.id, Entries: list})
+		}()
+	}
+}
+
+func (p *Provider) storeEntries() []wire.LocEntry {
+	return p.store.List()
+}
+
+// propagateSeg notifies a segment's stale replicas to pull the new version
+// immediately after a location update reports a version advance.
+func (p *Provider) propagateSeg(seg ids.SegID) {
+	act, ok := p.table.ScanSeg(seg, p.members.IsLive)
+	if !ok || len(act.Stale) == 0 {
+		return
+	}
+	for _, stale := range act.Stale {
+		stale := stale
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.call(stale, wire.SyncNotify{Seg: act.Seg, Version: act.Latest, Source: act.Source})
+		}()
+	}
+}
+
+// repairScan is the home-host maintenance pass: notify stale replicas to
+// sync and create new replicas for under-replicated segments (paper §3.6).
+func (p *Provider) repairScan() {
+	actions := p.table.Scan(p.members.IsLive)
+	budget := p.cfg.RepairBatch
+	for _, act := range actions {
+		if budget <= 0 {
+			return
+		}
+		// Stale replicas: tell them to pull the latest version.
+		for _, stale := range act.Stale {
+			if budget <= 0 {
+				return
+			}
+			budget--
+			stale := stale
+			act := act
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				p.call(stale, wire.SyncNotify{Seg: act.Seg, Version: act.Latest, Source: act.Source})
+			}()
+		}
+		// Replication deficit: choose fresh sites, spreading replicas
+		// across racks when the labels allow it.
+		if act.Deficit > 0 {
+			exclude := make(map[wire.NodeID]bool, len(act.CurrentOwners))
+			for _, o := range act.CurrentOwners {
+				exclude[o] = true
+			}
+			racks := p.rackMap()
+			excludeRacks := make(map[string]bool)
+			for _, o := range act.CurrentOwners {
+				if r := racks[o]; r != "" {
+					excludeRacks[r] = true
+				}
+			}
+			cands := p.candidates()
+			for i := 0; i < act.Deficit && budget > 0; i++ {
+				dest, err := p.selector.Choose(cands, placement.Options{
+					Alpha:        0.5,
+					SegSize:      act.Size,
+					Exclude:      exclude,
+					Racks:        racks,
+					ExcludeRacks: excludeRacks,
+				})
+				if err != nil {
+					break
+				}
+				exclude[dest] = true
+				if r := racks[dest]; r != "" {
+					excludeRacks[r] = true
+				}
+				budget--
+				dest, act := dest, act
+				p.wg.Add(1)
+				go func() {
+					defer p.wg.Done()
+					p.call(dest, wire.ReplicateNotify{
+						Seg:               act.Seg,
+						Version:           act.Latest,
+						Source:            act.Source,
+						ReplDeg:           act.ReplDeg,
+						LocalityThreshold: act.LocalityThreshold,
+					})
+				}()
+			}
+		}
+	}
+}
+
+// rackMap snapshots the gossiped rack labels of the live providers.
+func (p *Provider) rackMap() map[wire.NodeID]string {
+	loads := p.members.Loads()
+	out := make(map[wire.NodeID]string, len(loads))
+	for node, l := range loads {
+		if l.Rack != "" {
+			out[node] = l.Rack
+		}
+	}
+	return out
+}
+
+// candidates snapshots the live providers with their gossiped loads.
+func (p *Provider) candidates() []placement.Candidate {
+	loads := p.members.Loads()
+	out := make([]placement.Candidate, 0, len(loads))
+	for node, l := range loads {
+		out = append(out, placement.Candidate{Node: node, Load: l.Load, FreeBytes: l.FreeBytes})
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package segstore
+
+import (
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// DeltaRange aliases the wire type: one changed byte range of a committed
+// version.
+type DeltaRange = wire.DeltaRange
+
+// FetchDelta returns the changes needed to advance a replica from haveVer
+// to the latest committed version (paper §3.6: stale replicas "retrieve
+// the updates", not whole segments). When the intermediate change sets
+// have been consolidated away, full falls back to the complete payload.
+func (st *Store) FetchDelta(seg ids.SegID, haveVer uint64) (ranges []DeltaRange, newSize int64, ver uint64, replDeg int, locThresh float64, full []byte, err error) {
+	st.mu.Lock()
+	s, ok := st.segs[seg]
+	if !ok || s.latest == 0 {
+		st.mu.Unlock()
+		return nil, 0, 0, 0, 0, nil, ErrNotFound
+	}
+	ver = s.latest
+	replDeg, locThresh = s.replDeg, s.localityThreshold
+	latest := s.versions[s.latest]
+	newSize = int64(len(latest))
+	if haveVer >= ver {
+		st.mu.Unlock()
+		return nil, newSize, ver, replDeg, locThresh, nil, nil
+	}
+	// Collect the union of changed ranges across (haveVer, ver]. If any
+	// change set is missing (consolidated), fall back to a full transfer.
+	var union []rng
+	complete := haveVer > 0
+	for v := haveVer + 1; complete && v <= ver; v++ {
+		ch, ok := s.changes[v]
+		if !ok {
+			complete = false
+			break
+		}
+		union = append(union, ch...)
+	}
+	if !complete {
+		out := append([]byte(nil), latest...)
+		st.mu.Unlock()
+		st.chargeRead(int64(len(out)))
+		return nil, newSize, ver, replDeg, locThresh, out, nil
+	}
+	union = mergeRanges(union)
+	var total int64
+	for _, r := range union {
+		lo, hi := r.off, r.end
+		if lo >= newSize {
+			continue
+		}
+		if hi > newSize {
+			hi = newSize
+		}
+		ranges = append(ranges, DeltaRange{Off: lo, Data: append([]byte(nil), latest[lo:hi]...)})
+		total += hi - lo
+	}
+	st.mu.Unlock()
+	st.chargeRead(total)
+	return ranges, newSize, ver, replDeg, locThresh, nil, nil
+}
+
+// ApplyDelta advances a local replica from fromVer to toVer by applying
+// changed ranges onto the local copy. It fails when the local version does
+// not match fromVer (the caller falls back to a full fetch).
+func (st *Store) ApplyDelta(seg ids.SegID, fromVer, toVer uint64, ranges []DeltaRange, newSize int64, replDeg int, locThresh float64) error {
+	st.mu.Lock()
+	s, ok := st.segs[seg]
+	if !ok || s.latest != fromVer {
+		st.mu.Unlock()
+		return ErrNoVersion
+	}
+	base := s.versions[fromVer]
+	buf := make([]byte, newSize)
+	copy(buf, base)
+	var written int64
+	for _, r := range ranges {
+		if r.Off < 0 || r.Off+int64(len(r.Data)) > newSize {
+			st.mu.Unlock()
+			return ErrNoVersion
+		}
+		copy(buf[r.Off:], r.Data)
+		written += int64(len(r.Data))
+	}
+	s.versions[toVer] = buf
+	s.latest = toVer
+	if replDeg > 0 {
+		s.replDeg = replDeg
+	}
+	if locThresh > 0 {
+		s.localityThreshold = locThresh
+	}
+	st.consolidateLocked(s)
+	grow := newSize // new version buffer occupies its full size
+	st.mu.Unlock()
+	if err := st.disk.Alloc(grow); err != nil {
+		return err
+	}
+	st.disk.WriteAsync(written)
+	return nil
+}
+
+// rng is an offset range used for change tracking.
+type rng struct{ off, end int64 }
+
+// mergeRanges sorts and coalesces ranges.
+func mergeRanges(in []rng) []rng {
+	if len(in) < 2 {
+		return in
+	}
+	// Insertion sort: change sets are tiny.
+	for i := 1; i < len(in); i++ {
+		for j := i; j > 0 && in[j].off < in[j-1].off; j-- {
+			in[j], in[j-1] = in[j-1], in[j]
+		}
+	}
+	out := in[:1]
+	for _, r := range in[1:] {
+		last := &out[len(out)-1]
+		if r.off <= last.end {
+			if r.end > last.end {
+				last.end = r.end
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package segstore
+
+import "sort"
+
+// extent is one contiguous written range of a copy-on-write shadow.
+type extent struct {
+	off  int64
+	data []byte
+}
+
+func (e extent) end() int64 { return e.off + int64(len(e.data)) }
+
+// extentMap is the index structure the paper describes for shadow copies
+// (§3.5): it maps region ranges to the newly written bytes; regions not
+// covered resolve to the base version. Extents are kept sorted and
+// non-overlapping. baseLimit remembers the lowest truncation point so base
+// bytes cut off by a truncate never resurface when the shadow regrows.
+type extentMap struct {
+	exts      []extent
+	baseLimit int64 // -1 (via limited flag) means no truncation yet
+	limited   bool
+}
+
+// write inserts data at off, replacing any overlapped ranges. It returns
+// the number of newly covered bytes (for space accounting).
+func (m *extentMap) write(off int64, data []byte) int64 {
+	if len(data) == 0 {
+		return 0
+	}
+	newExt := extent{off: off, data: append([]byte(nil), data...)}
+	covered := m.coveredWithin(off, newExt.end())
+	out := m.exts[:0:0]
+	for _, e := range m.exts {
+		switch {
+		case e.end() <= newExt.off || e.off >= newExt.end():
+			out = append(out, e)
+		default:
+			// Overlap: keep the non-overlapped head and/or tail.
+			if e.off < newExt.off {
+				head := e.data[:newExt.off-e.off]
+				out = append(out, extent{off: e.off, data: head})
+			}
+			if e.end() > newExt.end() {
+				tail := e.data[newExt.end()-e.off:]
+				out = append(out, extent{off: newExt.end(), data: tail})
+			}
+		}
+	}
+	out = append(out, newExt)
+	sort.Slice(out, func(i, j int) bool { return out[i].off < out[j].off })
+	m.exts = m.coalesce(out)
+	return int64(len(data)) - covered
+}
+
+// coalesce merges adjacent extents to bound the index size.
+func (m *extentMap) coalesce(exts []extent) []extent {
+	if len(exts) < 2 {
+		return exts
+	}
+	out := exts[:1]
+	for _, e := range exts[1:] {
+		last := &out[len(out)-1]
+		if last.end() == e.off {
+			last.data = append(last.data, e.data...)
+		} else {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// coveredWithin returns how many bytes in [lo,hi) existing extents cover.
+func (m *extentMap) coveredWithin(lo, hi int64) int64 {
+	var n int64
+	for _, e := range m.exts {
+		a, b := e.off, e.end()
+		if a < lo {
+			a = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		if b > a {
+			n += b - a
+		}
+	}
+	return n
+}
+
+// read fills dst with the shadow view of [off, off+len(dst)): written
+// extents win, everything else comes from base (which may be nil, meaning
+// zeros).
+func (m *extentMap) read(off int64, dst []byte, base []byte) {
+	// Start from the base (or zeros). Base bytes beyond a past truncation
+	// point are dead.
+	baseLen := int64(len(base))
+	if m.limited && m.baseLimit < baseLen {
+		baseLen = m.baseLimit
+	}
+	for i := range dst {
+		p := off + int64(i)
+		if base != nil && p < baseLen {
+			dst[i] = base[p]
+		} else {
+			dst[i] = 0
+		}
+	}
+	hi := off + int64(len(dst))
+	for _, e := range m.exts {
+		if e.end() <= off || e.off >= hi {
+			continue
+		}
+		a := e.off
+		if a < off {
+			a = off
+		}
+		b := e.end()
+		if b > hi {
+			b = hi
+		}
+		copy(dst[a-off:b-off], e.data[a-e.off:b-e.off])
+	}
+}
+
+// truncate drops written bytes at or beyond size and returns how many
+// covered bytes were released.
+func (m *extentMap) truncate(size int64) int64 {
+	if !m.limited || size < m.baseLimit {
+		m.limited = true
+		m.baseLimit = size
+	}
+	var released int64
+	out := m.exts[:0]
+	for _, e := range m.exts {
+		switch {
+		case e.end() <= size:
+			out = append(out, e)
+		case e.off >= size:
+			released += int64(len(e.data))
+		default:
+			released += e.end() - size
+			e.data = e.data[:size-e.off]
+			out = append(out, e)
+		}
+	}
+	m.exts = out
+	return released
+}
+
+// writtenBytes returns the total bytes the shadow has materialized.
+func (m *extentMap) writtenBytes() int64 {
+	var n int64
+	for _, e := range m.exts {
+		n += int64(len(e.data))
+	}
+	return n
+}
+
+// maxEnd returns the highest written offset end (0 when empty).
+func (m *extentMap) maxEnd() int64 {
+	var n int64
+	for _, e := range m.exts {
+		if e.end() > n {
+			n = e.end()
+		}
+	}
+	return n
+}

@@ -1,0 +1,153 @@
+package segstore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtentWriteAndRead(t *testing.T) {
+	var m extentMap
+	base := []byte("aaaaaaaaaa") // 10 bytes
+	if got := m.write(2, []byte("XX")); got != 2 {
+		t.Errorf("write covered %d new bytes, want 2", got)
+	}
+	dst := make([]byte, 10)
+	m.read(0, dst, base)
+	if string(dst) != "aaXXaaaaaa" {
+		t.Errorf("read = %q", dst)
+	}
+}
+
+func TestExtentOverwriteDoesNotGrow(t *testing.T) {
+	var m extentMap
+	m.write(0, []byte("abcd"))
+	if grown := m.write(1, []byte("ZZ")); grown != 0 {
+		t.Errorf("overwrite grew %d bytes", grown)
+	}
+	dst := make([]byte, 4)
+	m.read(0, dst, nil)
+	if string(dst) != "aZZd" {
+		t.Errorf("read = %q", dst)
+	}
+	if m.writtenBytes() != 4 {
+		t.Errorf("writtenBytes = %d", m.writtenBytes())
+	}
+}
+
+func TestExtentPartialOverlapSplits(t *testing.T) {
+	var m extentMap
+	m.write(0, []byte("aaaa"))
+	m.write(8, []byte("bbbb"))
+	m.write(2, []byte("XXXXXXXX")) // covers 2..10, overlaps both
+	dst := make([]byte, 12)
+	m.read(0, dst, nil)
+	if string(dst) != "aaXXXXXXXXbb" {
+		t.Errorf("read = %q", dst)
+	}
+}
+
+func TestExtentReadBeyondBaseZeros(t *testing.T) {
+	var m extentMap
+	m.write(5, []byte("Z"))
+	dst := make([]byte, 8)
+	m.read(0, dst, []byte("ab"))
+	want := []byte{'a', 'b', 0, 0, 0, 'Z', 0, 0}
+	if !bytes.Equal(dst, want) {
+		t.Errorf("read = %v, want %v", dst, want)
+	}
+}
+
+func TestExtentTruncate(t *testing.T) {
+	var m extentMap
+	m.write(0, []byte("aaaa"))
+	m.write(6, []byte("bbbb"))
+	if released := m.truncate(8); released != 2 {
+		t.Errorf("truncate released %d, want 2", released)
+	}
+	if m.maxEnd() != 8 {
+		t.Errorf("maxEnd = %d", m.maxEnd())
+	}
+	if released := m.truncate(2); released != 2+2 {
+		t.Errorf("second truncate released %d, want 4", released)
+	}
+	if m.writtenBytes() != 2 {
+		t.Errorf("writtenBytes = %d", m.writtenBytes())
+	}
+}
+
+func TestExtentCoalesceAdjacent(t *testing.T) {
+	var m extentMap
+	m.write(0, []byte("aa"))
+	m.write(2, []byte("bb"))
+	m.write(4, []byte("cc"))
+	if len(m.exts) != 1 {
+		t.Errorf("adjacent extents not coalesced: %d extents", len(m.exts))
+	}
+	dst := make([]byte, 6)
+	m.read(0, dst, nil)
+	if string(dst) != "aabbcc" {
+		t.Errorf("read = %q", dst)
+	}
+}
+
+// TestExtentMatchesFlatModel property-tests the extent map against a naive
+// flat-buffer implementation under random write/truncate sequences.
+func TestExtentMatchesFlatModel(t *testing.T) {
+	type op struct {
+		Truncate bool
+		Off      uint16
+		Len      uint8
+		Fill     byte
+	}
+	f := func(base []byte, ops []op) bool {
+		if len(base) > 512 {
+			base = base[:512]
+		}
+		var m extentMap
+		flat := append([]byte(nil), base...)
+		size := int64(len(base))
+		for _, o := range ops {
+			off := int64(o.Off % 600)
+			if o.Truncate {
+				newSize := off
+				m.truncate(newSize)
+				size = newSize
+				if int64(len(flat)) > size {
+					flat = flat[:size]
+				}
+				continue
+			}
+			n := int64(o.Len%64) + 1
+			data := bytes.Repeat([]byte{o.Fill}, int(n))
+			m.write(off, data)
+			if off+n > size {
+				size = off + n
+			}
+			if int64(len(flat)) < size {
+				flat = append(flat, make([]byte, size-int64(len(flat)))...)
+			}
+			copy(flat[off:off+n], data)
+		}
+		got := make([]byte, size)
+		m.read(0, got, base)
+		want := make([]byte, size)
+		copy(want, flat)
+		return bytes.Equal(got, want)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtentEmptyWrite(t *testing.T) {
+	var m extentMap
+	if m.write(5, nil) != 0 {
+		t.Error("empty write grew")
+	}
+	if len(m.exts) != 0 {
+		t.Error("empty write left an extent")
+	}
+}

@@ -1,0 +1,134 @@
+package segstore
+
+import (
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// historyLen is the per-segment access-history depth (paper §3.7.2: "the
+// latest one thousand accesses for the most recently accessed one thousand
+// segments").
+const historyLen = 1000
+
+type accessRec struct {
+	from  wire.NodeID
+	bytes int64
+}
+
+// accessHistory is a ring buffer of recent accesses to one segment.
+type accessHistory struct {
+	ring []accessRec
+	pos  int
+	full bool
+}
+
+func (h *accessHistory) add(from wire.NodeID, bytes int64) {
+	if h.ring == nil {
+		h.ring = make([]accessRec, historyLen)
+	}
+	h.ring[h.pos] = accessRec{from: from, bytes: bytes}
+	h.pos++
+	if h.pos == len(h.ring) {
+		h.pos = 0
+		h.full = true
+	}
+}
+
+func (h *accessHistory) records() []accessRec {
+	if !h.full {
+		return h.ring[:h.pos]
+	}
+	return h.ring
+}
+
+// share returns the node generating the largest traffic share and that
+// share as a fraction of total bytes, plus the number of recorded accesses.
+func (h *accessHistory) share() (wire.NodeID, float64, int) {
+	recs := h.records()
+	if len(recs) == 0 {
+		return "", 0, 0
+	}
+	byNode := make(map[wire.NodeID]int64)
+	var total int64
+	for _, r := range recs {
+		byNode[r.from] += r.bytes
+		total += r.bytes
+	}
+	var best wire.NodeID
+	var bestBytes int64
+	for n, b := range byNode {
+		if b > bestBytes || (b == bestBytes && n < best) {
+			best, bestBytes = n, b
+		}
+	}
+	if total == 0 {
+		return "", 0, len(recs)
+	}
+	return best, float64(bestBytes) / float64(total), len(recs)
+}
+
+// RecordAccess notes that `from` transferred `bytes` of segment data. Only
+// segments under a locality-driven policy keep history; the store caps the
+// number of tracked segments by evicting the least recently accessed
+// history.
+func (st *Store) RecordAccess(seg ids.SegID, from wire.NodeID, bytes int64) {
+	if from == "" || bytes <= 0 {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.segs[seg]
+	if !ok || s.localityThreshold <= 0 {
+		return
+	}
+	if s.history == nil {
+		if st.trackedHistories >= MaxTrackedHistories {
+			st.evictOldestHistoryLocked()
+		}
+		s.history = &accessHistory{}
+		st.trackedHistories++
+	}
+	s.history.add(from, bytes)
+	s.lastAccess = st.clock.Now()
+}
+
+func (st *Store) evictOldestHistoryLocked() {
+	var victim *segment
+	for _, s := range st.segs {
+		if s.history == nil {
+			continue
+		}
+		if victim == nil || s.lastAccess < victim.lastAccess {
+			victim = s
+		}
+	}
+	if victim != nil {
+		victim.history = nil
+		st.trackedHistories--
+	}
+}
+
+// TrafficShare reports the dominant remote traffic source for a
+// locality-managed segment: the node, its byte share, and how many accesses
+// back the estimate. ok is false when the segment has no history.
+func (st *Store) TrafficShare(seg ids.SegID) (node wire.NodeID, frac float64, samples int, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, exists := st.segs[seg]
+	if !exists || s.history == nil {
+		return "", 0, 0, false
+	}
+	node, frac, samples = s.history.share()
+	return node, frac, samples, samples > 0
+}
+
+// LocalityThreshold returns the segment's locality policy threshold
+// (0 when not under a locality policy or unknown).
+func (st *Store) LocalityThreshold(seg ids.SegID) float64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if s, ok := st.segs[seg]; ok {
+		return s.localityThreshold
+	}
+	return 0
+}

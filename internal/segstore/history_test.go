@@ -1,0 +1,132 @@
+package segstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ids"
+	"repro/internal/simtime"
+)
+
+func TestTrafficShareDominantNode(t *testing.T) {
+	st := newStore(t)
+	seg := ids.New()
+	st.Create(seg, []byte("x"), 1, 0.8, false)
+	for i := 0; i < 30; i++ {
+		st.RecordAccess(seg, "p1", 100)
+	}
+	for i := 0; i < 10; i++ {
+		st.RecordAccess(seg, "p2", 100)
+	}
+	node, frac, samples, ok := st.TrafficShare(seg)
+	if !ok || node != "p1" || samples != 40 {
+		t.Fatalf("TrafficShare = %v %v %d %v", node, frac, samples, ok)
+	}
+	if frac < 0.74 || frac > 0.76 {
+		t.Errorf("frac = %v, want 0.75", frac)
+	}
+}
+
+func TestNoHistoryWithoutLocalityPolicy(t *testing.T) {
+	st := newStore(t)
+	seg := ids.New()
+	st.Create(seg, []byte("x"), 1, 0, false) // threshold 0: no policy
+	st.RecordAccess(seg, "p1", 100)
+	if _, _, _, ok := st.TrafficShare(seg); ok {
+		t.Error("history recorded for non-locality segment")
+	}
+}
+
+func TestRecordAccessIgnoresEmptyAndZero(t *testing.T) {
+	st := newStore(t)
+	seg := ids.New()
+	st.Create(seg, []byte("x"), 1, 0.8, false)
+	st.RecordAccess(seg, "", 100)
+	st.RecordAccess(seg, "p1", 0)
+	if _, _, _, ok := st.TrafficShare(seg); ok {
+		t.Error("degenerate accesses recorded")
+	}
+}
+
+func TestHistoryRingWrapsAtLimit(t *testing.T) {
+	st := newStore(t)
+	seg := ids.New()
+	st.Create(seg, []byte("x"), 1, 0.8, false)
+	// Old traffic all from p1, then historyLen accesses from p2: p1 must be
+	// entirely forgotten.
+	for i := 0; i < 500; i++ {
+		st.RecordAccess(seg, "p1", 10)
+	}
+	for i := 0; i < historyLen; i++ {
+		st.RecordAccess(seg, "p2", 10)
+	}
+	node, frac, samples, ok := st.TrafficShare(seg)
+	if !ok || node != "p2" || frac != 1.0 || samples != historyLen {
+		t.Fatalf("after wrap: %v %v %d %v", node, frac, samples, ok)
+	}
+}
+
+func TestHistoryEvictionCap(t *testing.T) {
+	clock := simtime.NewClock(0.0001)
+	st := New(clock, disk.New(clock, "t", disk.SCSI10K(), 1<<30))
+	segs := make([]ids.SegID, MaxTrackedHistories+10)
+	for i := range segs {
+		segs[i] = ids.New()
+		st.Create(segs[i], []byte("x"), 1, 0.8, false)
+		st.RecordAccess(segs[i], "p1", 10)
+	}
+	tracked := 0
+	for _, seg := range segs {
+		if _, _, _, ok := st.TrafficShare(seg); ok {
+			tracked++
+		}
+	}
+	if tracked > MaxTrackedHistories {
+		t.Errorf("tracked %d histories, cap %d", tracked, MaxTrackedHistories)
+	}
+	// The newest segments must still be tracked.
+	if _, _, _, ok := st.TrafficShare(segs[len(segs)-1]); !ok {
+		t.Error("most recent segment evicted")
+	}
+}
+
+func TestLocalityThresholdAccessor(t *testing.T) {
+	st := newStore(t)
+	seg := ids.New()
+	st.Create(seg, []byte("x"), 1, 0.65, false)
+	if got := st.LocalityThreshold(seg); got != 0.65 {
+		t.Errorf("LocalityThreshold = %v", got)
+	}
+	if got := st.LocalityThreshold(ids.New()); got != 0 {
+		t.Errorf("unknown segment threshold = %v", got)
+	}
+}
+
+func TestTrafficShareTieBreaksDeterministically(t *testing.T) {
+	st := newStore(t)
+	seg := ids.New()
+	st.Create(seg, []byte("x"), 1, 0.8, false)
+	st.RecordAccess(seg, "p2", 100)
+	st.RecordAccess(seg, "p1", 100)
+	node, _, _, _ := st.TrafficShare(seg)
+	if node != "p1" {
+		t.Errorf("tie broke to %v, want p1 (lexicographic)", node)
+	}
+}
+
+func BenchmarkRecordAccess(b *testing.B) {
+	clock := simtime.NewClock(1)
+	st := New(clock, disk.New(clock, "t", disk.SCSI10K(), 1<<40))
+	seg := ids.New()
+	st.Create(seg, []byte("x"), 1, 0.8, false)
+	nodes := make([]string, 8)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("p%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.RecordAccess(seg, "p1", 4096)
+	}
+}

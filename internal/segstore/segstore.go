@@ -1,0 +1,736 @@
+// Package segstore implements a storage provider's versioned segment store
+// (paper §3.2, §3.5): committed immutable segment versions, copy-on-write
+// shadow copies keyed by writing session, shadow expiration, two-phase
+// commit participation, version consolidation, and the per-segment access
+// bookkeeping (last access time, traffic history) that data migration needs.
+//
+// Disk costs and capacity are charged against an internal/disk.Disk; the
+// store holds segment bytes in memory, standing in for the provider's
+// native file system.
+package segstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/ids"
+	"repro/internal/simtime"
+	"repro/internal/wire"
+)
+
+// KeepVersions is how many committed versions are retained per segment;
+// older versions are consolidated away (paper §3.5: "only keeps one or a
+// few latest stable versions").
+const KeepVersions = 2
+
+// KeepChanges is how many versions of change-range metadata are retained.
+// Change sets are just offset ranges (the bytes come from the latest
+// version), so keeping a deep history is nearly free and lets replicas
+// that fell many versions behind catch up with a delta instead of a full
+// segment transfer.
+const KeepChanges = 64
+
+// Store errors.
+var (
+	ErrNotFound   = errors.New("segstore: segment not found")
+	ErrNoShadow   = errors.New("segstore: no open shadow for session")
+	ErrNoVersion  = errors.New("segstore: version not found")
+	ErrPrepared   = errors.New("segstore: another session holds the commit slot")
+	ErrNotDirect  = errors.New("segstore: segment is versioned; direct writes forbidden")
+	ErrIsDirect   = errors.New("segstore: segment is versioning-off; shadows forbidden")
+	ErrExists     = errors.New("segstore: segment already exists")
+	ErrExpired    = errors.New("segstore: shadow expired")
+	ErrUnprepared = errors.New("segstore: shadow not prepared")
+)
+
+type shadow struct {
+	base     uint64 // base version; 0 for a brand-new segment
+	size     int64
+	ext      extentMap
+	expiry   time.Duration // modeled deadline; zero means no expiry
+	prepared bool
+	planned  uint64 // version fixed at prepare time
+}
+
+type segment struct {
+	versions map[uint64][]byte
+	latest   uint64
+	// changes records, per retained version, the byte ranges that version
+	// modified — what stale replicas fetch to catch up (delta sync, §3.6).
+	changes map[uint64][]rng
+	shadows map[string]*shadow
+	// commitOwner holds the session that has prepared a shadow; it
+	// serializes commits on the segment.
+	commitOwner string
+
+	replDeg           int
+	localityThreshold float64
+	direct            bool // versioning disabled
+
+	// pinned marks milestone versions that consolidation never reclaims
+	// (paper §3.5's planned Elephant-style milestones).
+	pinned map[uint64]bool
+
+	lastAccess time.Duration
+	history    *accessHistory
+}
+
+func (s *segment) latestSize() int64 {
+	if s.latest == 0 {
+		return 0
+	}
+	return int64(len(s.versions[s.latest]))
+}
+
+// Store is one provider's segment store.
+type Store struct {
+	clock *simtime.Clock
+	disk  *disk.Disk
+	// cacheBytes is the provider's memory available for caching segment
+	// data: synchronous disk reads are charged only once the stored bytes
+	// exceed it; writes always flush asynchronously (write-back).
+	cacheBytes int64
+
+	mu   sync.Mutex
+	segs map[ids.SegID]*segment
+	// trackedHistories caps memory for locality tracking (paper §3.7.2:
+	// "the latest one thousand accesses for the most recently accessed one
+	// thousand segments").
+	trackedHistories int
+}
+
+// MaxTrackedHistories bounds how many segments keep access histories.
+const MaxTrackedHistories = 1000
+
+// DefaultCacheBytes approximates a paper-era storage node's memory
+// available for file caching.
+const DefaultCacheBytes = 512 << 20
+
+// New returns an empty store whose I/O is charged to d.
+func New(clock *simtime.Clock, d *disk.Disk) *Store {
+	return &Store{clock: clock, disk: d, cacheBytes: DefaultCacheBytes, segs: make(map[ids.SegID]*segment)}
+}
+
+// SetCacheBytes overrides the cache threshold (scaled experiments).
+func (st *Store) SetCacheBytes(n int64) { st.cacheBytes = n }
+
+// chargeRead charges a synchronous disk read when the working set exceeds
+// the cache.
+func (st *Store) chargeRead(n int64) {
+	if st.disk.Used() > st.cacheBytes {
+		st.disk.Read(n)
+	}
+}
+
+// Disk returns the underlying disk (for load/space reporting).
+func (st *Store) Disk() *disk.Disk { return st.disk }
+
+// Create materializes a segment at version 1 with the given content. It is
+// used for initial creation and for versioning-off segments (direct=true).
+func (st *Store) Create(seg ids.SegID, data []byte, replDeg int, locThresh float64, direct bool) error {
+	if err := st.disk.Alloc(int64(len(data))); err != nil {
+		return err
+	}
+	st.disk.WriteAsync(int64(len(data)))
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.segs[seg]; ok {
+		st.disk.Free(int64(len(data)))
+		return ErrExists
+	}
+	st.segs[seg] = &segment{
+		versions:          map[uint64][]byte{1: append([]byte(nil), data...)},
+		latest:            1,
+		shadows:           make(map[string]*shadow),
+		replDeg:           replDeg,
+		localityThreshold: locThresh,
+		direct:            direct,
+		lastAccess:        st.clock.Now(),
+	}
+	return nil
+}
+
+// Install stores (or replaces) a specific committed version of a segment —
+// the receive path of replica sync, repair, and migration. Installing an
+// older version than the local latest is a no-op.
+func (st *Store) Install(seg ids.SegID, ver uint64, data []byte, replDeg int, locThresh float64) error {
+	if ver == 0 {
+		return fmt.Errorf("segstore: Install version 0")
+	}
+	if err := st.disk.Alloc(int64(len(data))); err != nil {
+		return err
+	}
+	st.disk.WriteAsync(int64(len(data)))
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.segs[seg]
+	if !ok {
+		s = &segment{
+			versions:          make(map[uint64][]byte),
+			shadows:           make(map[string]*shadow),
+			replDeg:           replDeg,
+			localityThreshold: locThresh,
+			lastAccess:        st.clock.Now(),
+		}
+		st.segs[seg] = s
+	}
+	if ver <= s.latest {
+		st.disk.Free(int64(len(data)))
+		return nil
+	}
+	s.versions[ver] = append([]byte(nil), data...)
+	s.latest = ver
+	st.consolidateLocked(s)
+	return nil
+}
+
+// Shadow opens (or renews) a copy-on-write shadow of the segment's baseVer
+// for the given session. For a new segment (not yet present) the base is
+// empty and the segment record is created with the supplied policies.
+func (st *Store) Shadow(owner string, seg ids.SegID, baseVer uint64, ttl time.Duration, replDeg int, locThresh float64) (created bool, size int64, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.segs[seg]
+	if !ok {
+		if baseVer != 0 {
+			return false, 0, ErrNotFound
+		}
+		s = &segment{
+			versions:          make(map[uint64][]byte),
+			shadows:           make(map[string]*shadow),
+			replDeg:           replDeg,
+			localityThreshold: locThresh,
+			lastAccess:        st.clock.Now(),
+		}
+		st.segs[seg] = s
+	}
+	if s.direct {
+		return false, 0, ErrIsDirect
+	}
+	if sh, ok := s.shadows[owner]; ok {
+		sh.expiry = st.expiryLocked(ttl)
+		return false, sh.size, nil
+	}
+	if baseVer == 0 {
+		baseVer = s.latest
+	}
+	var baseSize int64
+	if baseVer != 0 {
+		b, ok := s.versions[baseVer]
+		if !ok {
+			return false, 0, ErrNoVersion
+		}
+		baseSize = int64(len(b))
+	}
+	s.shadows[owner] = &shadow{
+		base:   baseVer,
+		size:   baseSize,
+		expiry: st.expiryLocked(ttl),
+	}
+	return true, baseSize, nil
+}
+
+func (st *Store) expiryLocked(ttl time.Duration) time.Duration {
+	if ttl <= 0 {
+		return 0
+	}
+	return st.clock.Now() + ttl
+}
+
+func (st *Store) shadowLocked(owner string, seg ids.SegID) (*segment, *shadow, error) {
+	s, ok := st.segs[seg]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	sh, ok := s.shadows[owner]
+	if !ok {
+		return nil, nil, ErrNoShadow
+	}
+	return s, sh, nil
+}
+
+// WriteShadow writes into an open shadow, growing it when the write extends
+// past the current size.
+func (st *Store) WriteShadow(owner string, seg ids.SegID, off int64, data []byte) (int, error) {
+	st.mu.Lock()
+	s, sh, err := st.shadowLocked(owner, seg)
+	if err != nil {
+		st.mu.Unlock()
+		return 0, err
+	}
+	if sh.prepared {
+		st.mu.Unlock()
+		return 0, ErrPrepared
+	}
+	grown := sh.ext.write(off, data)
+	if end := off + int64(len(data)); end > sh.size {
+		sh.size = end
+	}
+	s.lastAccess = st.clock.Now()
+	st.mu.Unlock()
+
+	if grown > 0 {
+		if err := st.disk.Alloc(grown); err != nil {
+			return 0, err
+		}
+	}
+	st.disk.WriteAsync(int64(len(data)))
+	return len(data), nil
+}
+
+// ReadShadow reads the session's shadow view (read-your-writes).
+func (st *Store) ReadShadow(owner string, seg ids.SegID, off, n int64) ([]byte, error) {
+	st.mu.Lock()
+	s, sh, err := st.shadowLocked(owner, seg)
+	if err != nil {
+		st.mu.Unlock()
+		return nil, err
+	}
+	if off >= sh.size {
+		st.mu.Unlock()
+		return nil, nil
+	}
+	if off+n > sh.size {
+		n = sh.size - off
+	}
+	dst := make([]byte, n)
+	var base []byte
+	if sh.base != 0 {
+		base = s.versions[sh.base]
+	}
+	sh.ext.read(off, dst, base)
+	s.lastAccess = st.clock.Now()
+	st.mu.Unlock()
+	st.chargeRead(n)
+	return dst, nil
+}
+
+// TruncateShadow resizes an open shadow.
+func (st *Store) TruncateShadow(owner string, seg ids.SegID, size int64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, sh, err := st.shadowLocked(owner, seg)
+	if err != nil {
+		return err
+	}
+	if sh.prepared {
+		return ErrPrepared
+	}
+	released := sh.ext.truncate(size)
+	sh.size = size
+	if released > 0 {
+		st.disk.Free(released)
+	}
+	return nil
+}
+
+// Renew resets a shadow's expiration timer (paper §3.5: the application
+// must commit or reset the timer before it expires).
+func (st *Store) Renew(owner string, seg ids.SegID, ttl time.Duration) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, sh, err := st.shadowLocked(owner, seg)
+	if err != nil {
+		return err
+	}
+	sh.expiry = st.expiryLocked(ttl)
+	return nil
+}
+
+// Drop discards an uncommitted shadow.
+func (st *Store) Drop(owner string, seg ids.SegID) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, sh, err := st.shadowLocked(owner, seg)
+	if err != nil {
+		return err
+	}
+	st.dropShadowLocked(s, owner, sh)
+	return nil
+}
+
+func (st *Store) dropShadowLocked(s *segment, owner string, sh *shadow) {
+	if s.commitOwner == owner {
+		s.commitOwner = ""
+	}
+	st.disk.Free(sh.ext.writtenBytes())
+	delete(s.shadows, owner)
+	// A brand-new segment whose only shadow is dropped disappears.
+	if s.latest == 0 && len(s.shadows) == 0 {
+		for seg, cand := range st.segs {
+			if cand == s {
+				delete(st.segs, seg)
+				break
+			}
+		}
+	}
+}
+
+// Prepare is 2PC phase one: it validates the shadow, locks the segment's
+// commit slot, and fixes the version the shadow will commit as.
+func (st *Store) Prepare(owner string, seg ids.SegID) (plannedVer uint64, size int64, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, sh, err := st.shadowLocked(owner, seg)
+	if err != nil {
+		return 0, 0, err
+	}
+	if sh.expiry != 0 && st.clock.Now() > sh.expiry {
+		st.dropShadowLocked(s, owner, sh)
+		return 0, 0, ErrExpired
+	}
+	if s.commitOwner != "" && s.commitOwner != owner {
+		return 0, 0, ErrPrepared
+	}
+	s.commitOwner = owner
+	sh.prepared = true
+	sh.planned = s.latest + 1
+	return sh.planned, sh.size, nil
+}
+
+// CommitPrepared is 2PC phase two: the shadow becomes the latest committed
+// version. The in-memory index structure is flushed to disk as part of the
+// commit (paper §3.5).
+func (st *Store) CommitPrepared(owner string, seg ids.SegID) (ver uint64, size int64, err error) {
+	st.mu.Lock()
+	s, sh, err := st.shadowLocked(owner, seg)
+	if err != nil {
+		st.mu.Unlock()
+		return 0, 0, err
+	}
+	if !sh.prepared {
+		st.mu.Unlock()
+		return 0, 0, ErrUnprepared
+	}
+	buf := make([]byte, sh.size)
+	var base []byte
+	if sh.base != 0 {
+		base = s.versions[sh.base]
+	}
+	sh.ext.read(0, buf, base)
+	written := sh.ext.writtenBytes()
+	s.versions[sh.planned] = buf
+	if s.changes == nil {
+		s.changes = make(map[uint64][]rng)
+	}
+	var ch []rng
+	for _, e := range sh.ext.exts {
+		ch = append(ch, rng{off: e.off, end: e.end()})
+	}
+	// A size change (growth or truncation) invalidates pure range deltas;
+	// record the tail as changed so ApplyDelta reproduces the new size.
+	if sh.base != 0 && sh.size != int64(len(base)) {
+		lo := sh.size
+		if int64(len(base)) < lo {
+			lo = int64(len(base))
+		}
+		ch = append(ch, rng{off: lo, end: sh.size})
+	}
+	s.changes[sh.planned] = mergeRanges(ch)
+	s.latest = sh.planned
+	s.commitOwner = ""
+	delete(s.shadows, owner)
+	st.consolidateLocked(s)
+	s.lastAccess = st.clock.Now()
+	ver, size = sh.planned, sh.size
+	st.mu.Unlock()
+
+	// Account: the committed version occupies size; the shadow's extents
+	// are released.
+	if size > written {
+		if err := st.disk.Alloc(size - written); err != nil {
+			// Space was validated as the shadow grew; a failure here means
+			// concurrent pressure. The commit stands; report it anyway.
+			return ver, size, nil
+		}
+	} else if written > size {
+		st.disk.Free(written - size)
+	}
+	st.disk.WriteAsync(indexFlushBytes)
+	return ver, size, nil
+}
+
+// indexFlushBytes approximates flushing the shadow's index structure.
+const indexFlushBytes = 4096
+
+// AbortPrepared is 2PC rollback: the shadow is discarded.
+func (st *Store) AbortPrepared(owner string, seg ids.SegID) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, sh, err := st.shadowLocked(owner, seg)
+	if err != nil {
+		return err
+	}
+	st.dropShadowLocked(s, owner, sh)
+	return nil
+}
+
+// consolidateLocked drops versions beyond KeepVersions.
+func (st *Store) consolidateLocked(s *segment) {
+	for ver, data := range s.versions {
+		if ver+KeepVersions <= s.latest && !s.pinned[ver] {
+			st.disk.Free(int64(len(data)))
+			delete(s.versions, ver)
+		}
+	}
+	for ver := range s.changes {
+		if ver+KeepChanges <= s.latest {
+			delete(s.changes, ver)
+		}
+	}
+}
+
+// Read returns up to n bytes of a committed version (0 = latest) starting
+// at off, along with the version served.
+func (st *Store) Read(seg ids.SegID, ver uint64, off, n int64) ([]byte, uint64, error) {
+	st.mu.Lock()
+	s, ok := st.segs[seg]
+	if !ok || s.latest == 0 {
+		st.mu.Unlock()
+		return nil, 0, ErrNotFound
+	}
+	if ver == 0 {
+		ver = s.latest
+	}
+	data, ok := s.versions[ver]
+	if !ok {
+		st.mu.Unlock()
+		return nil, 0, ErrNoVersion
+	}
+	if off >= int64(len(data)) {
+		st.mu.Unlock()
+		return nil, ver, nil
+	}
+	if off+n > int64(len(data)) {
+		n = int64(len(data)) - off
+	}
+	out := append([]byte(nil), data[off:off+n]...)
+	s.lastAccess = st.clock.Now()
+	st.mu.Unlock()
+	st.chargeRead(n)
+	return out, ver, nil
+}
+
+// Fetch returns a full committed version (0 = latest) with the segment's
+// policies, for sync/repair/migration transfers.
+func (st *Store) Fetch(seg ids.SegID, ver uint64) (data []byte, v uint64, replDeg int, locThresh float64, err error) {
+	st.mu.Lock()
+	s, ok := st.segs[seg]
+	if !ok || s.latest == 0 {
+		st.mu.Unlock()
+		return nil, 0, 0, 0, ErrNotFound
+	}
+	if ver == 0 {
+		ver = s.latest
+	}
+	d, ok := s.versions[ver]
+	if !ok {
+		st.mu.Unlock()
+		return nil, 0, 0, 0, ErrNoVersion
+	}
+	out := append([]byte(nil), d...)
+	replDeg, locThresh = s.replDeg, s.localityThreshold
+	st.mu.Unlock()
+	st.chargeRead(int64(len(out)))
+	return out, ver, replDeg, locThresh, nil
+}
+
+// WriteDirect applies an in-place write to a versioning-off segment.
+func (st *Store) WriteDirect(seg ids.SegID, off int64, data []byte) error {
+	st.mu.Lock()
+	s, ok := st.segs[seg]
+	if !ok {
+		st.mu.Unlock()
+		return ErrNotFound
+	}
+	if !s.direct {
+		st.mu.Unlock()
+		return ErrNotDirect
+	}
+	buf := s.versions[s.latest]
+	end := off + int64(len(data))
+	var grown int64
+	if end > int64(len(buf)) {
+		grown = end - int64(len(buf))
+		nb := make([]byte, end)
+		copy(nb, buf)
+		buf = nb
+	}
+	copy(buf[off:end], data)
+	s.versions[s.latest] = buf
+	s.lastAccess = st.clock.Now()
+	st.mu.Unlock()
+	if grown > 0 {
+		if err := st.disk.Alloc(grown); err != nil {
+			return err
+		}
+	}
+	st.disk.WriteAsync(int64(len(data)))
+	return nil
+}
+
+// Delete removes a segment and all versions and shadows.
+func (st *Store) Delete(seg ids.SegID) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.segs[seg]
+	if !ok {
+		return ErrNotFound
+	}
+	var freed int64
+	for _, d := range s.versions {
+		freed += int64(len(d))
+	}
+	for _, sh := range s.shadows {
+		freed += sh.ext.writtenBytes()
+	}
+	st.disk.Free(freed)
+	delete(st.segs, seg)
+	return nil
+}
+
+// Stat describes a segment's local state.
+type Stat struct {
+	Present   bool
+	Version   uint64
+	Size      int64
+	HasShadow bool
+	Direct    bool
+	ReplDeg   int
+}
+
+// Stat returns the segment's local state.
+func (st *Store) Stat(seg ids.SegID) Stat {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.segs[seg]
+	if !ok {
+		return Stat{}
+	}
+	return Stat{
+		Present:   s.latest != 0,
+		Version:   s.latest,
+		Size:      s.latestSize(),
+		HasShadow: len(s.shadows) > 0,
+		Direct:    s.direct,
+		ReplDeg:   s.replDeg,
+	}
+}
+
+// List returns location entries for all committed local segments, for the
+// periodic content refresh (paper §3.4.1 event 1).
+func (st *Store) List() []wire.LocEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]wire.LocEntry, 0, len(st.segs))
+	for seg, s := range st.segs {
+		if s.latest == 0 {
+			continue
+		}
+		out = append(out, wire.LocEntry{
+			Seg:               seg,
+			Version:           s.latest,
+			Size:              s.latestSize(),
+			ReplDeg:           s.replDeg,
+			LocalityThreshold: s.localityThreshold,
+		})
+	}
+	return out
+}
+
+// LastAccess returns the segment's last access time on the modeled
+// timeline — its "temperature" (paper §3.7.1). ok is false for unknown
+// segments.
+func (st *Store) LastAccess(seg ids.SegID) (time.Duration, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.segs[seg]
+	if !ok {
+		return 0, false
+	}
+	return s.lastAccess, true
+}
+
+// ExpireShadows drops shadows whose expiration has passed and that are not
+// mid-2PC, returning how many were reclaimed (paper §3.5: garbage left by
+// failed clients).
+func (st *Store) ExpireShadows() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := st.clock.Now()
+	n := 0
+	for _, s := range st.segs {
+		for owner, sh := range s.shadows {
+			if sh.expiry != 0 && now > sh.expiry && !sh.prepared {
+				st.dropShadowLocked(s, owner, sh)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PinVersion marks a committed version as a milestone: consolidation will
+// never reclaim it, so it stays readable forever (paper §3.5 anticipates
+// such Elephant-style milestones).
+func (st *Store) PinVersion(seg ids.SegID, ver uint64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.segs[seg]
+	if !ok {
+		return ErrNotFound
+	}
+	if ver == 0 {
+		ver = s.latest
+	}
+	if _, ok := s.versions[ver]; !ok {
+		return ErrNoVersion
+	}
+	if s.pinned == nil {
+		s.pinned = make(map[uint64]bool)
+	}
+	s.pinned[ver] = true
+	return nil
+}
+
+// UnpinVersion releases a milestone; the version becomes reclaimable at the
+// next consolidation.
+func (st *Store) UnpinVersion(seg ids.SegID, ver uint64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.segs[seg]
+	if !ok {
+		return ErrNotFound
+	}
+	delete(s.pinned, ver)
+	return nil
+}
+
+// Segments returns the IDs of all committed local segments.
+func (st *Store) Segments() []ids.SegID {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]ids.SegID, 0, len(st.segs))
+	for seg, s := range st.segs {
+		if s.latest != 0 {
+			out = append(out, seg)
+		}
+	}
+	return out
+}
+
+// Len returns the number of committed segments.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, s := range st.segs {
+		if s.latest != 0 {
+			n++
+		}
+	}
+	return n
+}

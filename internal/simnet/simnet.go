@@ -1,0 +1,315 @@
+// Package simnet implements transport.Network over in-process message
+// passing with a calibrated cost model. Every endpoint gets a full-duplex
+// NIC modeled as two FIFO simtime.Resources (send and receive directions);
+// transferring a message charges size/bandwidth on both ends plus a
+// propagation latency. Saturating a node's link therefore queues subsequent
+// transfers exactly as the paper's Fast Ethernet links do.
+//
+// Co-located endpoints (JoinAt) share the host's NIC and talk to their host
+// for free, which models applications running directly on storage nodes
+// (the crawler and PSM experiments).
+package simnet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Config describes the modeled network hardware.
+type Config struct {
+	// Bandwidth is each NIC direction's throughput in bytes/second.
+	// Fast Ethernet ≈ 12.5 MB/s.
+	Bandwidth float64
+	// Latency is the one-way propagation + protocol-stack delay per message.
+	Latency time.Duration
+	// CallTimeout is how long a call to a dead node blocks before failing.
+	CallTimeout time.Duration
+}
+
+// FastEthernet returns the paper's network: 100 Mb/s links, ~100 µs one-way
+// latency, 3 s request timeout.
+func FastEthernet() Config {
+	return Config{
+		Bandwidth:   12.5e6,
+		Latency:     100 * time.Microsecond,
+		CallTimeout: 3 * time.Second,
+	}
+}
+
+// Fabric is the simulated network. It implements transport.Network.
+type Fabric struct {
+	clock *simtime.Clock
+	cfg   Config
+
+	mu    sync.RWMutex
+	nodes map[wire.NodeID]*endpoint
+}
+
+// New creates an empty fabric on the given clock.
+func New(clock *simtime.Clock, cfg Config) *Fabric {
+	if cfg.Bandwidth <= 0 {
+		cfg.Bandwidth = FastEthernet().Bandwidth
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = FastEthernet().CallTimeout
+	}
+	return &Fabric{clock: clock, cfg: cfg, nodes: make(map[wire.NodeID]*endpoint)}
+}
+
+// Clock returns the fabric's clock.
+func (f *Fabric) Clock() *simtime.Clock { return f.clock }
+
+type nic struct {
+	send *simtime.Resource
+	recv *simtime.Resource
+}
+
+type endpoint struct {
+	fabric  *Fabric
+	id      wire.NodeID
+	host    wire.NodeID
+	nic     *nic // shared among co-located endpoints
+	handler transport.Handler
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ transport.Endpoint = (*endpoint)(nil)
+
+// Join implements transport.Network.
+func (f *Fabric) Join(id wire.NodeID, h transport.Handler) (transport.Endpoint, error) {
+	return f.join(id, id, h, nil)
+}
+
+// JoinAt implements transport.Network: the endpoint shares host's NIC.
+func (f *Fabric) JoinAt(id, host wire.NodeID, h transport.Handler) (transport.Endpoint, error) {
+	f.mu.RLock()
+	he, ok := f.nodes[host]
+	f.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("simnet: JoinAt: host %q not joined", host)
+	}
+	return f.join(id, host, h, he.nic)
+}
+
+func (f *Fabric) join(id, host wire.NodeID, h transport.Handler, sharedNIC *nic) (transport.Endpoint, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, exists := f.nodes[id]; exists {
+		return nil, fmt.Errorf("simnet: node %q already joined", id)
+	}
+	n := sharedNIC
+	if n == nil {
+		n = &nic{
+			send: simtime.NewResource(f.clock, string(id)+"/nic-send"),
+			recv: simtime.NewResource(f.clock, string(id)+"/nic-recv"),
+		}
+	}
+	ep := &endpoint{fabric: f, id: id, host: host, nic: n, handler: h}
+	f.nodes[id] = ep
+	return ep, nil
+}
+
+// NICResources returns the send/receive resources of a node's NIC so load
+// samplers can include network I/O wait. It returns nil for unknown nodes.
+func (f *Fabric) NICResources(id wire.NodeID) []*simtime.Resource {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	ep, ok := f.nodes[id]
+	if !ok {
+		return nil
+	}
+	return []*simtime.Resource{ep.nic.send, ep.nic.recv}
+}
+
+func (f *Fabric) lookup(id wire.NodeID) *endpoint {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.nodes[id]
+}
+
+// transferTime is the modeled NIC occupancy for a message of size bytes.
+func (f *Fabric) transferTime(size int) time.Duration {
+	return time.Duration(float64(size) / f.cfg.Bandwidth * float64(time.Second))
+}
+
+func (e *endpoint) ID() wire.NodeID   { return e.id }
+func (e *endpoint) Host() wire.NodeID { return e.host }
+
+func (e *endpoint) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+// Call implements transport.Endpoint. The request charges the sender's send
+// direction and the receiver's receive direction plus latency; the response
+// does the reverse. Calls between co-located endpoints are free.
+func (e *endpoint) Call(ctx context.Context, to wire.NodeID, req any) (any, error) {
+	if e.isClosed() {
+		return nil, transport.ErrClosed
+	}
+	dst := e.fabric.lookup(to)
+	local := dst != nil && dst.nic == e.nic
+	if !local {
+		e.transfer(dst, req)
+	}
+	if dst == nil || dst.isClosed() {
+		// The destination is down: the request times out (paper §4.3:
+		// "requests issued to the failed node are all timed out").
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-e.fabric.clock.After(e.fabric.cfg.CallTimeout):
+			return nil, transport.ErrTimeout
+		}
+	}
+	if dst.handler == nil {
+		return nil, transport.ErrNoHandler
+	}
+	resp, err := dst.handler.HandleCall(ctx, e.host, req)
+	if err != nil {
+		return nil, err
+	}
+	// The destination may have died while serving; its response is lost.
+	if dst.isClosed() {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-e.fabric.clock.After(e.fabric.cfg.CallTimeout):
+			return nil, transport.ErrTimeout
+		}
+	}
+	if !local {
+		dst.transfer(e, resp)
+	}
+	return resp, nil
+}
+
+// transferQuantum bounds one NIC reservation. Real links multiplex flows
+// per packet, so a small control message never waits behind a whole bulk
+// transfer; reserving link time in quanta lets concurrent messages
+// interleave, approximating TCP's fair sharing while keeping the aggregate
+// occupancy exact. 5 ms ≈ a 64 KB TCP window at Fast Ethernet speed.
+const transferQuantum = 5 * time.Millisecond
+
+// quantum returns the effective interleaving quantum: at highly compressed
+// time scales it grows so that one quantum is at least ~1 ms of wall time,
+// keeping per-quantum scheduling overhead negligible relative to the
+// modeled cost. Control messages bypass the bulk queue entirely (priority
+// lane), so the quantum only governs fairness among bulk flows.
+func (f *Fabric) quantum() time.Duration {
+	q := f.clock.Modeled(time.Millisecond)
+	if q < transferQuantum {
+		q = transferQuantum
+	}
+	return q
+}
+
+// smallMsgTime is the modeled transfer time below which a message travels
+// in the NIC's priority lane, as small packets interleave with bulk flows
+// on real links. 10 ms ≈ 128 KB at Fast Ethernet speed. The threshold is in
+// modeled time (not bytes) so it stays meaningful under data scaling.
+const smallMsgTime = 10 * time.Millisecond
+
+// transfer moves msg from e to dst: the sender's send direction and the
+// receiver's receive direction are both occupied for the transfer time, and
+// the transfer is pipelined (the caller blocks on the later of the two
+// reservations per quantum, not their sum). Each quantum is reserved only
+// after the previous one completes, so concurrent flows round-robin the
+// links: a huge replica transfer delays a small control message by at most
+// (flows × quantum), as TCP's per-packet sharing would, instead of
+// head-of-line-blocking it for the whole transfer.
+func (e *endpoint) transfer(dst *endpoint, msg any) {
+	total := e.fabric.transferTime(wire.SizeOf(msg))
+	if total <= smallMsgTime {
+		end := e.nic.send.ReservePriority(total)
+		if dst != nil {
+			if endRecv := dst.nic.recv.ReservePriority(total); endRecv.After(end) {
+				end = endRecv
+			}
+		}
+		simtime.WaitUntil(end)
+		e.fabric.clock.Sleep(e.fabric.cfg.Latency)
+		return
+	}
+	quantum := e.fabric.quantum()
+	for total > 0 {
+		q := total
+		if q > quantum {
+			q = quantum
+		}
+		total -= q
+		end := e.nic.send.Reserve(q)
+		if dst != nil {
+			if endRecv := dst.nic.recv.Reserve(q); endRecv.After(end) {
+				end = endRecv
+			}
+		}
+		simtime.WaitUntil(end)
+	}
+	e.fabric.clock.Sleep(e.fabric.cfg.Latency)
+}
+
+// Multicast implements transport.Endpoint. One transmission charges the
+// sender once (Ethernet multicast is a single frame) and each live receiver
+// once; delivery is asynchronous.
+func (e *endpoint) Multicast(msg any) {
+	if e.isClosed() {
+		return
+	}
+	size := wire.SizeOf(msg)
+	// Multicast frames are small control traffic (heartbeats, location
+	// probes): they ride the priority lane so they are never starved by
+	// bulk transfers — losing heartbeats under load would fake failures.
+	simtime.WaitUntil(e.nic.send.ReservePriority(e.fabric.transferTime(size)))
+	e.fabric.mu.RLock()
+	targets := make([]*endpoint, 0, len(e.fabric.nodes))
+	for _, ep := range e.fabric.nodes {
+		if ep.id != e.id {
+			targets = append(targets, ep)
+		}
+	}
+	e.fabric.mu.RUnlock()
+	for _, ep := range targets {
+		go func(ep *endpoint) {
+			e.fabric.clock.Sleep(e.fabric.cfg.Latency)
+			if ep.isClosed() || ep.handler == nil {
+				return
+			}
+			if ep.nic != e.nic {
+				simtime.WaitUntil(ep.nic.recv.ReservePriority(e.fabric.transferTime(size)))
+			}
+			ep.handler.HandleCast(e.host, msg)
+		}(ep)
+	}
+}
+
+// Close implements transport.Endpoint. A closed endpoint models a crashed
+// node: it stops answering but stays registered so calls to it time out.
+func (e *endpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	return nil
+}
+
+// Remove detaches a node entirely (used when a node's ID should become
+// reusable, e.g. re-adding a repaired machine).
+func (f *Fabric) Remove(id wire.NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ep, ok := f.nodes[id]; ok {
+		ep.mu.Lock()
+		ep.closed = true
+		ep.mu.Unlock()
+		delete(f.nodes, id)
+	}
+}

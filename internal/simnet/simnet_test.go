@@ -1,0 +1,334 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+type echoHandler struct {
+	mu    sync.Mutex
+	casts []any
+}
+
+func (h *echoHandler) HandleCall(_ context.Context, from wire.NodeID, req any) (any, error) {
+	return req, nil
+}
+
+func (h *echoHandler) HandleCast(from wire.NodeID, msg any) {
+	h.mu.Lock()
+	h.casts = append(h.casts, msg)
+	h.mu.Unlock()
+}
+
+func (h *echoHandler) castCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.casts)
+}
+
+func newFabric(t *testing.T, scale float64) *Fabric {
+	t.Helper()
+	return New(simtime.NewClock(scale), FastEthernet())
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	f := newFabric(t, 0.001)
+	h := &echoHandler{}
+	a, err := f.Join("a", &echoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Join("b", h); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := a.Call(context.Background(), "b", wire.SegRead{Offset: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.(wire.SegRead); got.Offset != 7 {
+		t.Errorf("echoed %+v", got)
+	}
+}
+
+func TestDuplicateJoinRejected(t *testing.T) {
+	f := newFabric(t, 0.001)
+	if _, err := f.Join("a", &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Join("a", &echoHandler{}); err == nil {
+		t.Fatal("duplicate join succeeded")
+	}
+}
+
+func TestCallToDeadNodeTimesOut(t *testing.T) {
+	f := newFabric(t, 0.0001)
+	a, _ := f.Join("a", &echoHandler{})
+	b, _ := f.Join("b", &echoHandler{})
+	b.Close()
+	_, err := a.Call(context.Background(), "b", wire.SegRead{})
+	if !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestCallToUnknownNodeTimesOut(t *testing.T) {
+	f := newFabric(t, 0.0001)
+	a, _ := f.Join("a", &echoHandler{})
+	if _, err := a.Call(context.Background(), "ghost", wire.SegRead{}); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestCallRespectsContextCancel(t *testing.T) {
+	f := New(simtime.NewClock(1), Config{Bandwidth: 12.5e6, CallTimeout: time.Hour})
+	a, _ := f.Join("a", &echoHandler{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := a.Call(ctx, "ghost", wire.SegRead{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancel did not interrupt timeout wait")
+	}
+}
+
+func TestClosedEndpointCannotCall(t *testing.T) {
+	f := newFabric(t, 0.001)
+	a, _ := f.Join("a", &echoHandler{})
+	a.Close()
+	if _, err := a.Call(context.Background(), "a", wire.SegRead{}); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestBandwidthChargesTransferTime(t *testing.T) {
+	// A 1.25 MB payload over a 12.5 MB/s link should take ~0.1s modeled in
+	// each direction; the echo response doubles it.
+	f := newFabric(t, 0.01)
+	a, _ := f.Join("a", &echoHandler{})
+	f.Join("b", &echoHandler{})
+	payload := wire.SegWrite{Data: make([]byte, 1250*1000)}
+	sw := f.Clock().Start()
+	if _, err := a.Call(context.Background(), "b", payload); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := sw.Elapsed()
+	if elapsed < 150*time.Millisecond {
+		t.Errorf("1.25MB echo took %v modeled, want >= 150ms", elapsed)
+	}
+}
+
+func TestContentionQueuesTransfers(t *testing.T) {
+	// Four concurrent 1.25MB sends to the same receiver must queue on the
+	// receiver's NIC: total time ≥ 4 × single-transfer time.
+	f := newFabric(t, 0.01)
+	h := &echoHandler{}
+	f.Join("sink", h)
+	clients := make([]transport.Endpoint, 4)
+	for i := range clients {
+		ep, _ := f.Join(wire.NodeID(string(rune('a'+i))), &echoHandler{})
+		clients[i] = ep
+	}
+	sw := f.Clock().Start()
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c transport.Endpoint) {
+			defer wg.Done()
+			c.Call(context.Background(), "sink", wire.SegWrite{Data: make([]byte, 1250*1000)})
+		}(c)
+	}
+	wg.Wait()
+	if elapsed := sw.Elapsed(); elapsed < 350*time.Millisecond {
+		t.Errorf("4 concurrent 1.25MB sends finished in %v modeled; receiver NIC not serializing", elapsed)
+	}
+}
+
+func TestMulticastReachesAllButSender(t *testing.T) {
+	f := newFabric(t, 0.001)
+	sender, _ := f.Join("s", &echoHandler{})
+	receivers := make([]*echoHandler, 5)
+	for i := range receivers {
+		receivers[i] = &echoHandler{}
+		f.Join(wire.NodeID(string(rune('a'+i))), receivers[i])
+	}
+	sender.Multicast(wire.Heartbeat{From: "s", Seq: 1})
+	deadline := time.After(2 * time.Second)
+	for i, r := range receivers {
+		for r.castCount() == 0 {
+			select {
+			case <-deadline:
+				t.Fatalf("receiver %d never got the multicast", i)
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+}
+
+func TestMulticastSkipsClosedReceivers(t *testing.T) {
+	f := newFabric(t, 0.001)
+	sender, _ := f.Join("s", &echoHandler{})
+	dead := &echoHandler{}
+	ep, _ := f.Join("dead", dead)
+	ep.Close()
+	alive := &echoHandler{}
+	f.Join("alive", alive)
+	sender.Multicast(wire.Heartbeat{From: "s"})
+	time.Sleep(50 * time.Millisecond)
+	if dead.castCount() != 0 {
+		t.Error("closed endpoint received multicast")
+	}
+	if alive.castCount() != 1 {
+		t.Errorf("alive endpoint got %d casts, want 1", alive.castCount())
+	}
+}
+
+func TestJoinAtSharesNICAndIsLocal(t *testing.T) {
+	f := newFabric(t, 0.01)
+	provider := &echoHandler{}
+	f.Join("p1", provider)
+	client, err := f.JoinAt("c1", "p1", &echoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.Host() != "p1" {
+		t.Errorf("Host = %q, want p1", client.Host())
+	}
+	// A large local transfer should be effectively free.
+	sw := f.Clock().Start()
+	if _, err := client.Call(context.Background(), "p1", wire.SegWrite{Data: make([]byte, 10<<20)}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := sw.Elapsed(); elapsed > 100*time.Millisecond {
+		t.Errorf("local 10MB call took %v modeled, want ~0", elapsed)
+	}
+}
+
+func TestJoinAtUnknownHost(t *testing.T) {
+	f := newFabric(t, 0.001)
+	if _, err := f.JoinAt("c1", "ghost", &echoHandler{}); err == nil {
+		t.Fatal("JoinAt unknown host succeeded")
+	}
+}
+
+func TestCoLocatedCallReportsHostAsFrom(t *testing.T) {
+	f := newFabric(t, 0.001)
+	var gotFrom wire.NodeID
+	h := transport.CallFunc(func(_ context.Context, from wire.NodeID, req any) (any, error) {
+		gotFrom = from
+		return wire.GenericResp{OK: true}, nil
+	})
+	f.Join("p1", h)
+	f.Join("p2", h)
+	client, _ := f.JoinAt("c1", "p1", &echoHandler{})
+	if _, err := client.Call(context.Background(), "p2", wire.SegRead{}); err != nil {
+		t.Fatal(err)
+	}
+	if gotFrom != "p1" {
+		t.Errorf("handler saw from=%q, want host p1", gotFrom)
+	}
+}
+
+func TestNICResources(t *testing.T) {
+	f := newFabric(t, 0.001)
+	f.Join("a", &echoHandler{})
+	if got := f.NICResources("a"); len(got) != 2 {
+		t.Errorf("NICResources = %d resources, want 2", len(got))
+	}
+	if got := f.NICResources("ghost"); got != nil {
+		t.Errorf("NICResources(ghost) = %v", got)
+	}
+}
+
+func TestRemoveFreesID(t *testing.T) {
+	f := newFabric(t, 0.001)
+	f.Join("a", &echoHandler{})
+	f.Remove("a")
+	if _, err := f.Join("a", &echoHandler{}); err != nil {
+		t.Fatalf("rejoin after Remove failed: %v", err)
+	}
+}
+
+func TestSmallMessagesBypassBulkBacklog(t *testing.T) {
+	// A control RPC issued while a huge transfer occupies the NIC must
+	// complete in roughly its own transmission time (the priority lane),
+	// not after the bulk transfer drains.
+	f := newFabric(t, 0.01)
+	f.Join("sink", &echoHandler{})
+	bulk, _ := f.Join("bulk", &echoHandler{})
+	ctl, _ := f.Join("ctl", &echoHandler{})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// 12.5 MB ≈ 1 modeled second on the receiver's NIC.
+		bulk.Call(context.Background(), "sink", wire.SegWrite{Data: make([]byte, 12500*1000)})
+	}()
+	time.Sleep(2 * time.Millisecond) // let the bulk transfer book the link
+
+	sw := f.Clock().Start()
+	if _, err := ctl.Call(context.Background(), "sink", wire.SegRead{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Elapsed(); got > 200*time.Millisecond {
+		t.Errorf("control RPC waited %v modeled behind a bulk transfer", got)
+	}
+	<-done
+}
+
+// ackHandler replies with a tiny acknowledgment, so only the request
+// payload consumes modeled bandwidth.
+type ackHandler struct{}
+
+func (ackHandler) HandleCall(_ context.Context, _ wire.NodeID, _ any) (any, error) {
+	return wire.GenericResp{OK: true}, nil
+}
+func (ackHandler) HandleCast(wire.NodeID, any) {}
+
+func TestBulkTransfersShareFairly(t *testing.T) {
+	// Two equal bulk transfers to one sink should each take ~2× the solo
+	// time (round-robin quanta), not one finishing at 1× and the other 2×.
+	f := newFabric(t, 0.01)
+	f.Join("sink", ackHandler{})
+	a, _ := f.Join("a", &echoHandler{})
+	b, _ := f.Join("b", &echoHandler{})
+
+	payload := func() wire.SegWrite { return wire.SegWrite{Data: make([]byte, 6250*1000)} } // 0.5s solo
+	times := make(chan time.Duration, 2)
+	var wg sync.WaitGroup
+	for _, ep := range []transport.Endpoint{a, b} {
+		wg.Add(1)
+		go func(ep transport.Endpoint) {
+			defer wg.Done()
+			sw := f.Clock().Start()
+			ep.Call(context.Background(), "sink", payload())
+			times <- sw.Elapsed()
+		}(ep)
+	}
+	wg.Wait()
+	close(times)
+	var all []time.Duration
+	for d := range times {
+		all = append(all, d)
+	}
+	// Both finish near 1s (shared), within a generous band.
+	for _, d := range all {
+		if d < 700*time.Millisecond || d > 1800*time.Millisecond {
+			t.Errorf("transfer took %v, want ~1s under fair sharing (times=%v)", d, all)
+		}
+	}
+
+}

@@ -1,0 +1,291 @@
+// Package simtime provides the scaled clock and FIFO resources that turn the
+// real Sorrento protocol implementation into a calibrated performance model.
+//
+// The reproduction runs the actual protocol code (goroutines exchanging real
+// messages), but hardware costs — disk service times, NIC transmission,
+// per-request server overheads — are charged against Resources. Charging a
+// modeled duration d blocks the caller until the resource has served it, with
+// wall-clock time compressed by the clock's Scale. Measurements taken through
+// Stopwatch convert wall time back into modeled time, so reported numbers are
+// directly comparable with the paper's (e.g. a modeled 12-hour crawler run
+// completes in seconds of wall time).
+//
+// A Scale of 1 gives real time, which is what the cmd/ daemons use.
+package simtime
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock converts between modeled time and wall time. Scale is the wall
+// seconds slept per modeled second; Scale < 1 compresses time.
+type Clock struct {
+	scale float64
+	start time.Time
+}
+
+// NewClock returns a clock with the given compression factor. scale must be
+// positive; NewClock panics otherwise because a zero scale would collapse all
+// queueing behaviour.
+func NewClock(scale float64) *Clock {
+	if scale <= 0 {
+		panic("simtime: scale must be positive")
+	}
+	return &Clock{scale: scale, start: time.Now()}
+}
+
+// Real returns a pass-through clock (Scale 1) for production daemons.
+func Real() *Clock { return NewClock(1) }
+
+// Scale returns the wall-per-modeled compression factor.
+func (c *Clock) Scale() float64 { return c.scale }
+
+// Wall converts a modeled duration to the wall duration to sleep.
+func (c *Clock) Wall(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * c.scale)
+}
+
+// Modeled converts a wall duration back to modeled time.
+func (c *Clock) Modeled(wall time.Duration) time.Duration {
+	return time.Duration(float64(wall) / c.scale)
+}
+
+// sleepWall blocks for a wall duration with sub-granularity accuracy via
+// the shared timer wheel (see wheel.go). time.Sleep alone overshoots by up
+// to a millisecond, which would distort modeled latencies at small Scales;
+// per-goroutine busy-waiting would serialize concurrent waits on few-core
+// machines. The wheel gives both precision and overlap.
+func sleepWall(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	globalWheel.wait(time.Now().Add(d))
+}
+
+// sleepUntil blocks until the wall instant t.
+func sleepUntil(t time.Time) {
+	if !time.Now().Before(t) {
+		return
+	}
+	globalWheel.wait(t)
+}
+
+// Sleep blocks for the modeled duration d (compressed by Scale).
+func (c *Clock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	sleepWall(c.Wall(d))
+}
+
+// Now returns the modeled time elapsed since the clock was created. It is
+// the simulation's timeline; experiment time series are keyed by it.
+func (c *Clock) Now() time.Duration {
+	return c.Modeled(time.Since(c.start))
+}
+
+// After returns a channel that fires after the modeled duration d.
+func (c *Clock) After(d time.Duration) <-chan time.Time {
+	return time.After(c.Wall(d))
+}
+
+// NewTicker returns a ticker firing every modeled duration d.
+func (c *Clock) NewTicker(d time.Duration) *time.Ticker {
+	return time.NewTicker(c.Wall(d))
+}
+
+// NewTimer returns a timer firing after the modeled duration d.
+func (c *Clock) NewTimer(d time.Duration) *time.Timer {
+	return time.NewTimer(c.Wall(d))
+}
+
+// Stopwatch measures modeled elapsed time.
+type Stopwatch struct {
+	clock *Clock
+	start time.Time
+}
+
+// Start returns a running stopwatch.
+func (c *Clock) Start() Stopwatch {
+	return Stopwatch{clock: c, start: time.Now()}
+}
+
+// Elapsed returns the modeled time since Start.
+func (s Stopwatch) Elapsed() time.Duration {
+	return s.clock.Modeled(time.Since(s.start))
+}
+
+// Resource models a serially-shared hardware component (a disk arm, one
+// direction of a NIC, a server CPU) as a FIFO queue: each Use reserves the
+// next available service slot and blocks until that slot completes. Queueing
+// delay therefore emerges naturally under contention, which is what drives
+// the saturation shapes in the paper's figures.
+type Resource struct {
+	clock *Clock
+	name  string
+
+	mu       sync.Mutex
+	free     time.Time     // wall time at which the server becomes idle
+	prioFree time.Time     // tail of the priority lane
+	busy     time.Duration // accumulated modeled busy time
+	requests int64
+}
+
+// NewResource returns an idle resource charged against clock. The name is
+// used only for diagnostics.
+func NewResource(clock *Clock, name string) *Resource {
+	return &Resource{clock: clock, name: name, free: time.Now()}
+}
+
+// Name returns the diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Use charges a modeled service time d and blocks the caller until the
+// resource has served it (FIFO behind earlier requests).
+func (r *Resource) Use(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	end := r.reserve(d)
+	sleepUntil(end)
+}
+
+// Reserve books d of modeled service time without blocking and returns the
+// wall instant at which the reservation completes. Callers that occupy two
+// resources concurrently (e.g. sender and receiver NICs of one pipelined
+// transfer) reserve both and WaitUntil the later end.
+func (r *Resource) Reserve(d time.Duration) time.Time {
+	if d <= 0 {
+		return time.Now()
+	}
+	return r.reserve(d)
+}
+
+// ReservePriority books d of service time in the resource's priority lane:
+// the request is served after earlier priority requests but ahead of the
+// queued bulk backlog, which is pushed back by d to conserve capacity. It
+// models small control packets interleaving with bulk transfers on a link —
+// their latency is their own transmission time, not the queue's.
+func (r *Resource) ReservePriority(d time.Duration) time.Time {
+	if d <= 0 {
+		return time.Now()
+	}
+	wall := r.clock.Wall(d)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	start := r.prioFree
+	if start.Before(now) {
+		start = now
+	}
+	r.prioFree = start.Add(wall)
+	// Push the bulk tail back so total occupancy is conserved.
+	if r.free.After(now) {
+		r.free = r.free.Add(wall)
+	}
+	r.busy += d
+	r.requests++
+	return r.prioFree
+}
+
+// WaitUntil blocks until the wall instant t with the wheel's precision.
+func WaitUntil(t time.Time) { sleepUntil(t) }
+
+// reserve books d of service time and returns the wall time at which this
+// request completes.
+func (r *Resource) reserve(d time.Duration) time.Time {
+	wall := r.clock.Wall(d)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	start := r.free
+	if start.Before(now) {
+		start = now
+	}
+	r.free = start.Add(wall)
+	r.busy += d
+	r.requests++
+	return r.free
+}
+
+// Backlog returns the modeled time a request arriving now would wait before
+// service begins. A saturated resource has a growing backlog.
+func (r *Resource) Backlog() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := time.Until(r.free)
+	if w <= 0 {
+		return 0
+	}
+	return r.clock.Modeled(w)
+}
+
+// BusyTime returns the total modeled busy time accumulated so far, and the
+// number of requests served. Samplers difference successive readings to
+// compute a utilization fraction (the paper's "CPU and I/O wait load" l).
+func (r *Resource) BusyTime() (time.Duration, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.busy, r.requests
+}
+
+// UtilizationSampler converts successive BusyTime readings into a
+// utilization fraction in [0,1].
+type UtilizationSampler struct {
+	res      []*Resource
+	clock    *Clock
+	mu       sync.Mutex
+	lastBusy time.Duration
+	lastAt   time.Time
+}
+
+// NewUtilizationSampler samples the combined utilization of the given
+// resources (e.g. a node's disk plus its NIC directions).
+func NewUtilizationSampler(clock *Clock, res ...*Resource) *UtilizationSampler {
+	return &UtilizationSampler{res: res, clock: clock, lastAt: time.Now()}
+}
+
+// Add folds more resources into the sampler (e.g. NIC directions known
+// only after a node joins the network). The baseline resets so the next
+// Sample is unbiased.
+func (s *UtilizationSampler) Add(res ...*Resource) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.res = append(s.res, res...)
+	var busy time.Duration
+	for _, r := range s.res {
+		b, _ := r.BusyTime()
+		busy += b
+	}
+	s.lastBusy = busy
+	s.lastAt = time.Now()
+}
+
+// Sample returns the fraction of modeled time the resources were busy since
+// the previous Sample, averaged across resources and clamped to [0,1].
+func (s *UtilizationSampler) Sample() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var busy time.Duration
+	for _, r := range s.res {
+		b, _ := r.BusyTime()
+		busy += b
+	}
+	now := time.Now()
+	window := s.clock.Modeled(now.Sub(s.lastAt))
+	delta := busy - s.lastBusy
+	s.lastBusy = busy
+	s.lastAt = now
+	if window <= 0 || len(s.res) == 0 {
+		return 0
+	}
+	u := float64(delta) / float64(window) / float64(len(s.res))
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,159 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockConversions(t *testing.T) {
+	c := NewClock(0.01)
+	if got := c.Wall(time.Second); got != 10*time.Millisecond {
+		t.Errorf("Wall(1s) = %v, want 10ms", got)
+	}
+	if got := c.Modeled(10 * time.Millisecond); got != time.Second {
+		t.Errorf("Modeled(10ms) = %v, want 1s", got)
+	}
+}
+
+func TestNewClockPanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewClock(0) did not panic")
+		}
+	}()
+	NewClock(0)
+}
+
+func TestSleepScaled(t *testing.T) {
+	c := NewClock(0.001)
+	start := time.Now()
+	c.Sleep(time.Second) // should be ~1ms wall
+	if wall := time.Since(start); wall > 200*time.Millisecond {
+		t.Errorf("Sleep(1s) at scale 0.001 took %v wall", wall)
+	}
+}
+
+func TestStopwatchReportsModeledTime(t *testing.T) {
+	c := NewClock(0.001)
+	sw := c.Start()
+	time.Sleep(5 * time.Millisecond)
+	got := sw.Elapsed()
+	if got < 2*time.Second || got > 60*time.Second {
+		t.Errorf("Elapsed = %v, want around 5s modeled", got)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	// 10 concurrent requests of 100ms modeled on one resource must take
+	// about 1s modeled in total, demonstrating FIFO queueing.
+	c := NewClock(0.002)
+	r := NewResource(c, "disk")
+	var wg sync.WaitGroup
+	sw := c.Start()
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Use(100 * time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	elapsed := sw.Elapsed()
+	if elapsed < 900*time.Millisecond {
+		t.Errorf("10 serialized 100ms uses finished in %v modeled, want >=0.9s", elapsed)
+	}
+	busy, n := r.BusyTime()
+	if busy != time.Second || n != 10 {
+		t.Errorf("BusyTime = %v, %d; want 1s, 10", busy, n)
+	}
+}
+
+func TestResourcesRunInParallel(t *testing.T) {
+	// Two independent resources serve concurrently: total modeled time for
+	// 100ms on each should be well under 200ms.
+	c := NewClock(0.01)
+	a := NewResource(c, "a")
+	b := NewResource(c, "b")
+	sw := c.Start()
+	var wg sync.WaitGroup
+	for _, r := range []*Resource{a, b} {
+		wg.Add(1)
+		go func(r *Resource) {
+			defer wg.Done()
+			r.Use(100 * time.Millisecond)
+		}(r)
+	}
+	wg.Wait()
+	if elapsed := sw.Elapsed(); elapsed > 180*time.Millisecond {
+		t.Errorf("parallel resources took %v modeled, want < 180ms", elapsed)
+	}
+}
+
+func TestUseZeroIsNoop(t *testing.T) {
+	c := NewClock(1)
+	r := NewResource(c, "x")
+	r.Use(0)
+	r.Use(-time.Second)
+	if busy, n := r.BusyTime(); busy != 0 || n != 0 {
+		t.Errorf("BusyTime after no-op uses = %v, %d", busy, n)
+	}
+}
+
+func TestBacklogGrowsUnderLoad(t *testing.T) {
+	c := NewClock(0.0001)
+	r := NewResource(c, "disk")
+	for i := 0; i < 20; i++ {
+		go r.Use(time.Second)
+	}
+	deadline := time.After(2 * time.Second)
+	for r.Backlog() <= 0 {
+		select {
+		case <-deadline:
+			t.Fatal("Backlog stayed 0 while 20 one-second requests queued")
+		default:
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+func TestUtilizationSampler(t *testing.T) {
+	c := NewClock(0.001)
+	r := NewResource(c, "disk")
+	s := NewUtilizationSampler(c, r)
+	s.Sample() // baseline
+
+	// Saturate the resource for ~20ms wall (= 20s modeled).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			r.Use(time.Second)
+		}
+	}()
+	<-done
+	u := s.Sample()
+	if u < 0.5 {
+		t.Errorf("utilization after saturation = %v, want >= 0.5", u)
+	}
+
+	// Idle window: utilization should fall.
+	time.Sleep(20 * time.Millisecond)
+	if u := s.Sample(); u > 0.2 {
+		t.Errorf("utilization after idle window = %v, want <= 0.2", u)
+	}
+}
+
+func TestTickerFiresAtScaledRate(t *testing.T) {
+	c := NewClock(0.001)
+	tk := c.NewTicker(time.Second) // 1ms wall
+	defer tk.Stop()
+	deadline := time.After(500 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		select {
+		case <-tk.C:
+		case <-deadline:
+			t.Fatalf("ticker fired only %d times in 500ms wall", i)
+		}
+	}
+}

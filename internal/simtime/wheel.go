@@ -1,0 +1,113 @@
+package simtime
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// wheel implements precise wall-clock waits. Waiters park on channels (no
+// CPU) while a single pacer goroutine watches the earliest deadline: it
+// sleeps coarsely while deadlines are far and spins (yielding) when one is
+// near, then closes the waiter's channel. One pacer serves every waiter, so
+// concurrent waits overlap correctly even at GOMAXPROCS=1 — unlike
+// per-goroutine spinning — while precision stays in the microseconds,
+// unlike raw time.Sleep whose overshoot can reach a millisecond.
+//
+// A waiter whose deadline precedes the pacer's current sleep target nudges
+// the wake channel so the pacer re-evaluates immediately; without that, one
+// long coarse sleep would stall every later-registered short wait.
+type wheel struct {
+	mu      sync.Mutex
+	q       waiterHeap
+	running bool
+	target  time.Time // pacer's coarse-sleep destination (zero when spinning)
+	wake    chan struct{}
+}
+
+// slack is how far ahead of a deadline the pacer switches from sleeping to
+// yielding; it must exceed the platform's time.Sleep overshoot.
+const slack = 2 * time.Millisecond
+
+var globalWheel = wheel{wake: make(chan struct{}, 1)}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan struct{}
+}
+
+type waiterHeap []waiter
+
+func (h waiterHeap) Len() int           { return len(h) }
+func (h waiterHeap) Less(i, j int) bool { return h[i].deadline.Before(h[j].deadline) }
+func (h waiterHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x any)        { *h = append(*h, x.(waiter)) }
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// wait blocks until the wall instant t.
+func (w *wheel) wait(t time.Time) {
+	if !time.Now().Before(t) {
+		return
+	}
+	ch := make(chan struct{})
+	w.mu.Lock()
+	heap.Push(&w.q, waiter{deadline: t, ch: ch})
+	nudge := false
+	if !w.running {
+		w.running = true
+		go w.pace()
+	} else if !w.target.IsZero() && t.Before(w.target) {
+		nudge = true
+	}
+	w.mu.Unlock()
+	if nudge {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+	<-ch
+}
+
+// pace wakes waiters as their deadlines pass, exiting when none remain.
+func (w *wheel) pace() {
+	for {
+		now := time.Now()
+		w.mu.Lock()
+		for w.q.Len() > 0 && !now.Before(w.q[0].deadline) {
+			close(heap.Pop(&w.q).(waiter).ch)
+		}
+		if w.q.Len() == 0 {
+			w.running = false
+			w.mu.Unlock()
+			return
+		}
+		next := w.q[0].deadline
+		d := time.Until(next)
+		if d > slack {
+			w.target = next
+			w.mu.Unlock()
+			t := time.NewTimer(d - slack)
+			select {
+			case <-t.C:
+			case <-w.wake:
+				t.Stop()
+			}
+			w.mu.Lock()
+			w.target = time.Time{}
+			w.mu.Unlock()
+			continue
+		}
+		w.mu.Unlock()
+		// Near a deadline: yield so freshly woken goroutines run, then
+		// re-check.
+		runtime.Gosched()
+	}
+}

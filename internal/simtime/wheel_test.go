@@ -1,0 +1,84 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWheelWaitAccuracy(t *testing.T) {
+	for _, d := range []time.Duration{100 * time.Microsecond, time.Millisecond, 5 * time.Millisecond} {
+		start := time.Now()
+		globalWheel.wait(start.Add(d))
+		got := time.Since(start)
+		if got < d {
+			t.Errorf("wait(%v) returned early after %v", d, got)
+		}
+		if got > d+3*time.Millisecond {
+			t.Errorf("wait(%v) overshot to %v", d, got)
+		}
+	}
+}
+
+func TestWheelPastDeadlineReturnsImmediately(t *testing.T) {
+	start := time.Now()
+	globalWheel.wait(start.Add(-time.Second))
+	if time.Since(start) > time.Millisecond {
+		t.Error("past deadline blocked")
+	}
+}
+
+// TestWheelShortWaitNotBlockedByLongSleep pins the regression where a
+// waiter with a near deadline registered while the pacer was in a long
+// coarse sleep toward a far deadline, and stalled until that sleep ended.
+func TestWheelShortWaitNotBlockedByLongSleep(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		globalWheel.wait(time.Now().Add(300 * time.Millisecond))
+	}()
+	time.Sleep(10 * time.Millisecond) // let the pacer start its long sleep
+
+	start := time.Now()
+	globalWheel.wait(start.Add(5 * time.Millisecond))
+	if got := time.Since(start); got > 50*time.Millisecond {
+		t.Errorf("short wait stalled %v behind a long sleep", got)
+	}
+	wg.Wait()
+}
+
+func TestWheelConcurrentWaitsOverlap(t *testing.T) {
+	// 20 concurrent 20ms waits must finish in ~20ms, not 400ms.
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			globalWheel.wait(time.Now().Add(20 * time.Millisecond))
+		}()
+	}
+	wg.Wait()
+	if got := time.Since(start); got > 100*time.Millisecond {
+		t.Errorf("concurrent waits serialized: %v", got)
+	}
+}
+
+func TestWheelPacerExitsWhenIdle(t *testing.T) {
+	globalWheel.wait(time.Now().Add(2 * time.Millisecond))
+	deadline := time.Now().Add(time.Second)
+	for {
+		globalWheel.mu.Lock()
+		running := globalWheel.running
+		queued := globalWheel.q.Len()
+		globalWheel.mu.Unlock()
+		if !running && queued == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pacer still running with %d queued after idle", queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,247 @@
+// Package stats provides the small statistical toolkit Sorrento relies on:
+// exponentially weighted moving averages for load monitoring (paper §3.7.1),
+// mean/standard-deviation summaries for the ±3σ migration trigger, and
+// histogram / time-series recorders used by the benchmark harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// EWMA is an exponentially weighted moving average. The zero value is not
+// usable; construct with NewEWMA.
+type EWMA struct {
+	alpha float64
+	mu    sync.Mutex
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor in (0,1]; larger
+// alpha weighs recent samples more.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("stats: EWMA alpha %v out of (0,1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add folds a sample into the average. The first sample initializes it.
+func (e *EWMA) Add(sample float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.init {
+		e.value = sample
+		e.init = true
+		return
+	}
+	e.value = e.alpha*sample + (1-e.alpha)*e.value
+}
+
+// Value returns the current average (zero before any sample).
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value
+}
+
+// Summary accumulates count/mean/variance online (Welford's algorithm).
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the summary.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the sample count.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (zero when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest sample (zero when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample (zero when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// StdDev returns the population standard deviation (zero for n < 2).
+func (s *Summary) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n))
+}
+
+// Summarize builds a Summary over a slice.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
+// AboveThreeSigma reports whether x exceeds mean+3σ of the population —
+// the paper's "significant imbalance" test for triggering migration.
+func AboveThreeSigma(x float64, pop []float64) bool {
+	s := Summarize(pop)
+	return x > s.Mean()+3*s.StdDev()
+}
+
+// TopFraction reports whether x ranks within the top frac (e.g. 0.10) of the
+// population. Ties count as within the top.
+func TopFraction(x float64, pop []float64, frac float64) bool {
+	if len(pop) == 0 {
+		return false
+	}
+	sorted := append([]float64(nil), pop...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	k := int(math.Ceil(frac * float64(len(sorted))))
+	if k < 1 {
+		k = 1
+	}
+	return x >= sorted[k-1]
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation; it returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// UnevennessRatio returns max/min of the samples — the paper's measure of
+// storage-usage imbalance in Figure 14. It returns +Inf when min is zero and
+// there is a positive max, and 0 for an empty slice.
+func UnevennessRatio(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := Summarize(xs)
+	if s.Min() == 0 {
+		if s.Max() == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return s.Max() / s.Min()
+}
+
+// Point is one sample in a time series.
+type Point struct {
+	T time.Duration // modeled time since experiment start
+	V float64
+}
+
+// TimeSeries is a concurrency-safe append-only series used for the
+// time-varying figures (13 and 15).
+type TimeSeries struct {
+	mu     sync.Mutex
+	points []Point
+}
+
+// Add appends a sample.
+func (ts *TimeSeries) Add(t time.Duration, v float64) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.points = append(ts.points, Point{T: t, V: v})
+}
+
+// Points returns a copy of the samples in insertion order.
+func (ts *TimeSeries) Points() []Point {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return append([]Point(nil), ts.points...)
+}
+
+// Bucketed aggregates the series into fixed-width buckets, returning the
+// mean of each non-empty bucket keyed by bucket start time. Figures 13/15
+// report 3s and 30s bucket means respectively.
+func (ts *TimeSeries) Bucketed(width time.Duration) []Point {
+	pts := ts.Points()
+	if width <= 0 || len(pts) == 0 {
+		return nil
+	}
+	sums := make(map[int64]*Summary)
+	for _, p := range pts {
+		b := int64(p.T / width)
+		s, ok := sums[b]
+		if !ok {
+			s = &Summary{}
+			sums[b] = s
+		}
+		s.Add(p.V)
+	}
+	keys := make([]int64, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]Point, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Point{T: time.Duration(k) * width, V: sums[k].Mean()})
+	}
+	return out
+}
+
+// Counter is a concurrency-safe monotonically increasing byte/op counter
+// with timestamped sampling support.
+type Counter struct {
+	mu    sync.Mutex
+	total int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {
+	c.mu.Lock()
+	c.total += n
+	c.mu.Unlock()
+}
+
+// Total returns the current value.
+func (c *Counter) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}

@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEWMAConverges(t *testing.T) {
+	e := NewEWMA(0.5)
+	for i := 0; i < 50; i++ {
+		e.Add(10)
+	}
+	if v := e.Value(); math.Abs(v-10) > 1e-9 {
+		t.Errorf("EWMA of constant 10 = %v", v)
+	}
+}
+
+func TestEWMAFirstSampleInitializes(t *testing.T) {
+	e := NewEWMA(0.1)
+	e.Add(42)
+	if v := e.Value(); v != 42 {
+		t.Errorf("first sample: Value = %v, want 42", v)
+	}
+}
+
+func TestEWMAWeighsRecent(t *testing.T) {
+	e := NewEWMA(0.9)
+	e.Add(0)
+	e.Add(100)
+	if v := e.Value(); v < 80 {
+		t.Errorf("high-alpha EWMA after 0,100 = %v, want >= 80", v)
+	}
+}
+
+func TestNewEWMAPanicsOnBadAlpha(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%v) did not panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := s.StdDev(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min,Max = %v,%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 {
+		t.Error("empty summary not zero")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.StdDev() != 0 || s.Min() != 3 || s.Max() != 3 {
+		t.Error("single-sample summary wrong")
+	}
+}
+
+func TestSummaryMeanMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true // skip pathological inputs
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		return math.Abs(s.Mean()-sum/float64(len(xs))) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAboveThreeSigma(t *testing.T) {
+	pop := []float64{10, 10, 10, 10, 11, 9, 10, 10}
+	if !AboveThreeSigma(50, pop) {
+		t.Error("50 not flagged above 3σ of ~10±0.5")
+	}
+	if AboveThreeSigma(10.5, pop) {
+		t.Error("10.5 flagged above 3σ")
+	}
+}
+
+func TestTopFraction(t *testing.T) {
+	pop := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if !TopFraction(10, pop, 0.10) {
+		t.Error("10 not in top 10% of 1..10")
+	}
+	if TopFraction(9, pop, 0.10) {
+		t.Error("9 in top 10% of 1..10")
+	}
+	if !TopFraction(9, pop, 0.20) {
+		t.Error("9 not in top 20% of 1..10")
+	}
+	if TopFraction(1, nil, 0.10) {
+		t.Error("empty population matched")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile not 0")
+	}
+}
+
+func TestUnevennessRatio(t *testing.T) {
+	if got := UnevennessRatio([]float64{7.1, 35.3}); math.Abs(got-35.3/7.1) > 1e-9 {
+		t.Errorf("UnevennessRatio = %v", got)
+	}
+	if !math.IsInf(UnevennessRatio([]float64{0, 5}), 1) {
+		t.Error("zero min did not give +Inf")
+	}
+	if UnevennessRatio(nil) != 0 {
+		t.Error("empty ratio not 0")
+	}
+	if UnevennessRatio([]float64{0, 0}) != 0 {
+		t.Error("all-zero ratio not 0")
+	}
+}
+
+func TestTimeSeriesBucketed(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(0, 1)
+	ts.Add(time.Second, 3)
+	ts.Add(3*time.Second, 10)
+	got := ts.Bucketed(2 * time.Second)
+	if len(got) != 2 {
+		t.Fatalf("buckets = %v", got)
+	}
+	if got[0].V != 2 || got[0].T != 0 {
+		t.Errorf("bucket 0 = %+v, want mean 2 at 0", got[0])
+	}
+	if got[1].V != 10 || got[1].T != 2*time.Second {
+		t.Errorf("bucket 1 = %+v", got[1])
+	}
+}
+
+func TestTimeSeriesEmptyBucketed(t *testing.T) {
+	var ts TimeSeries
+	if got := ts.Bucketed(time.Second); got != nil {
+		t.Errorf("empty Bucketed = %v", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	done := make(chan struct{})
+	for i := 0; i < 10; i++ {
+		go func() {
+			for j := 0; j < 100; j++ {
+				c.Add(1)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		<-done
+	}
+	if c.Total() != 1000 {
+		t.Errorf("Total = %d, want 1000", c.Total())
+	}
+}

@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fsapi"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// memFS is a trivial in-memory fsapi.System for replayer tests.
+type memFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+	// readDelay injects modeled I/O latency.
+	readDelay time.Duration
+	clock     *simtime.Clock
+}
+
+func newMemFS(clock *simtime.Clock) *memFS {
+	return &memFS{files: make(map[string][]byte), clock: clock}
+}
+
+func (m *memFS) Name() string       { return "mem" }
+func (m *memFS) Mkdir(string) error { return nil }
+
+func (m *memFS) Create(path string) (fsapi.File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; ok {
+		return nil, errors.New("exists")
+	}
+	m.files[path] = nil
+	return &memFile{fs: m, path: path}, nil
+}
+
+func (m *memFS) Open(path string) (fsapi.File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return nil, errors.New("not found")
+	}
+	return &memFile{fs: m, path: path}, nil
+}
+
+func (m *memFS) OpenWrite(path string) (fsapi.File, error) { return m.Open(path) }
+
+func (m *memFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return errors.New("not found")
+	}
+	delete(m.files, path)
+	return nil
+}
+
+type memFile struct {
+	fs   *memFS
+	path string
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if f.fs.readDelay > 0 {
+		f.fs.clock.Sleep(f.fs.readDelay)
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	data := f.fs.files[f.path]
+	if off >= int64(len(data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	data := f.fs.files[f.path]
+	end := off + int64(len(p))
+	if end > int64(len(data)) {
+		nb := make([]byte, end)
+		copy(nb, data)
+		data = nb
+	}
+	copy(data[off:end], p)
+	f.fs.files[f.path] = data
+	return len(p), nil
+}
+
+func (f *memFile) Close() error { return nil }
+func (f *memFile) Size() int64 {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return int64(len(f.fs.files[f.path]))
+}
+
+func TestReplayBasicSession(t *testing.T) {
+	clock := simtime.NewClock(0.001)
+	fs := newMemFS(clock)
+	r := NewReplayer(clock, fs)
+	tr := &Trace{Records: []Record{
+		{Kind: OpCreate, Path: "/a"},
+		{Kind: OpWrite, Path: "/a", Off: 0, N: 1000},
+		{Kind: OpClose, Path: "/a"},
+		{Kind: OpOpen, Path: "/a"},
+		{Kind: OpRead, Path: "/a", Off: 0, N: 1000},
+		{Kind: OpClose, Path: "/a"},
+		{Kind: OpRemove, Path: "/a"},
+	}}
+	st := r.Run(tr)
+	if st.Errors != 0 {
+		t.Fatalf("errors = %d", st.Errors)
+	}
+	if st.BytesWritten != 1000 || st.BytesRead != 1000 {
+		t.Errorf("bytes = %d written, %d read", st.BytesWritten, st.BytesRead)
+	}
+	if st.Ops != 7 {
+		t.Errorf("ops = %d", st.Ops)
+	}
+}
+
+func TestReplayErrorsCounted(t *testing.T) {
+	clock := simtime.NewClock(0.001)
+	fs := newMemFS(clock)
+	r := NewReplayer(clock, fs)
+	var seen []Record
+	r.OnError = func(rec Record, err error) { seen = append(seen, rec) }
+	tr := &Trace{Records: []Record{
+		{Kind: OpOpen, Path: "/ghost"},
+		{Kind: OpRead, Path: "/ghost", N: 10},
+	}}
+	st := r.Run(tr)
+	if st.Errors != 2 || len(seen) != 2 {
+		t.Errorf("errors = %d, callbacks = %d", st.Errors, len(seen))
+	}
+}
+
+func TestReplayThinkTimePaces(t *testing.T) {
+	clock := simtime.NewClock(0.001)
+	fs := newMemFS(clock)
+	r := NewReplayer(clock, fs)
+	tr := &Trace{Records: []Record{
+		{Kind: OpThink, Dur: 500 * time.Millisecond},
+		{Kind: OpThink, Dur: 500 * time.Millisecond},
+	}}
+	st := r.Run(tr)
+	if st.Elapsed < 900*time.Millisecond {
+		t.Errorf("elapsed = %v, want ≥ ~1s of think time", st.Elapsed)
+	}
+}
+
+func TestReplayQueryIOTime(t *testing.T) {
+	clock := simtime.NewClock(0.001)
+	fs := newMemFS(clock)
+	fs.readDelay = 20 * time.Millisecond
+	r := NewReplayer(clock, fs)
+	var series stats.TimeSeries
+	r.QuerySeries = &series
+	fs.files["/p"] = make([]byte, 1<<20)
+	tr := &Trace{Records: []Record{
+		{Kind: OpOpen, Path: "/p"},
+		{Kind: OpQueryStart},
+		{Kind: OpRead, Path: "/p", Off: 0, N: 4096},
+		{Kind: OpRead, Path: "/p", Off: 4096, N: 4096},
+		{Kind: OpQueryEnd},
+		{Kind: OpQueryStart},
+		{Kind: OpRead, Path: "/p", Off: 0, N: 4096},
+		{Kind: OpQueryEnd},
+		{Kind: OpClose, Path: "/p"},
+	}}
+	st := r.Run(tr)
+	if len(st.Queries) != 2 {
+		t.Fatalf("queries = %d", len(st.Queries))
+	}
+	// First query: 2 reads × 20ms ≈ 40ms; second ≈ 20ms.
+	if st.Queries[0].V < 30 || st.Queries[0].V > 120 {
+		t.Errorf("query 0 I/O = %v ms", st.Queries[0].V)
+	}
+	if st.Queries[1].V < 15 || st.Queries[1].V > 80 {
+		t.Errorf("query 1 I/O = %v ms", st.Queries[1].V)
+	}
+	if got := series.Points(); len(got) != 2 {
+		t.Errorf("series points = %d", len(got))
+	}
+}
+
+func TestReplayRatesComputed(t *testing.T) {
+	clock := simtime.NewClock(0.001)
+	fs := newMemFS(clock)
+	fs.readDelay = 100 * time.Millisecond
+	r := NewReplayer(clock, fs)
+	fs.files["/f"] = make([]byte, 10<<20)
+	tr := &Trace{Records: []Record{
+		{Kind: OpOpen, Path: "/f"},
+		{Kind: OpRead, Path: "/f", Off: 0, N: 1 << 20},
+		{Kind: OpClose, Path: "/f"},
+	}}
+	st := r.Run(tr)
+	if st.ReadRate() <= 0 || st.ReadRate() > 50 {
+		t.Errorf("ReadRate = %v MB/s", st.ReadRate())
+	}
+	if (Stats{}).ReadRate() != 0 || (Stats{}).WriteRate() != 0 {
+		t.Error("zero stats rates not zero")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{Kind: OpCreate, Path: "/x"},
+		{Kind: OpWrite, Path: "/x", Off: 42, N: 7},
+		{Kind: OpThink, Dur: time.Second},
+	}}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 3 || got.Records[1].Off != 42 || got.Records[2].Dur != time.Second {
+		t.Errorf("round trip = %+v", got.Records)
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage loaded")
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	kinds := []OpKind{OpCreate, OpOpen, OpOpenWrite, OpClose, OpRead, OpWrite, OpRemove, OpThink, OpQueryStart, OpQueryEnd}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Errorf("kind %d string %q", k, s)
+		}
+		seen[s] = true
+	}
+	if OpKind(99).String() != "unknown" {
+		t.Error("unknown kind string")
+	}
+}

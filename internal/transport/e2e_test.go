@@ -1,0 +1,180 @@
+package transport_test
+
+// End-to-end test of the real-network path: a namespace server, two
+// storage providers, and a client run over TCP/UDP sockets on loopback —
+// the same protocol code the simulated experiments exercise, without the
+// cost model (simtime scale 1).
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/membership"
+	"repro/internal/namespace"
+	"repro/internal/provider"
+	"repro/internal/simtime"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// freePort reserves and returns a free loopback TCP port.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+type nsHandler struct{ s *namespace.Server }
+
+func (h nsHandler) HandleCall(_ context.Context, _ wire.NodeID, req any) (any, error) {
+	return h.s.Handle(req)
+}
+func (h nsHandler) HandleCast(wire.NodeID, any) {}
+
+func TestTCPEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time sockets test")
+	}
+	clock := simtime.Real()
+
+	// Namespace server.
+	nsAddr := freePort(t)
+	srv, err := namespace.NewServer(clock, namespace.Config{OpCost: time.Microsecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsNode, err := transport.ListenTCP(nsAddr, "", nil, nsHandler{srv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nsNode.Close()
+
+	// Two providers with fast heartbeats so membership converges quickly.
+	mcfg := membership.Config{HeartbeatInterval: 50 * time.Millisecond, FailureFactor: 10}
+	pcfg := provider.DefaultConfig()
+	pcfg.OpCost = provider.NoOpCost
+	pcfg.Membership = mcfg
+	addr1, addr2 := freePort(t), freePort(t)
+
+	mk := func(addr string, seeds []string) *provider.Provider {
+		net := &transport.TCPNetwork{Bind: addr, Seeds: seeds}
+		d := disk.New(clock, addr, disk.Model{SeekTime: 0, RotationalLatency: 0, TransferRate: 1e12}, 1<<30)
+		p, err := provider.New(wire.NodeID(addr), clock, pcfg, net, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Start()
+		return p
+	}
+	p1 := mk(addr1, []string{addr2})
+	defer p1.Stop()
+	p2 := mk(addr2, []string{addr1})
+	defer p2.Stop()
+
+	// Client over its own TCP node.
+	clientNet := &transport.TCPNetwork{Bind: "127.0.0.1:0", Seeds: []string{addr1, addr2}}
+	client, err := core.NewClient("127.0.0.1:0", clock, clientNet, core.Config{
+		Namespace:  wire.NodeID(nsAddr),
+		Membership: mcfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// The client's node announced itself to its seeds at startup (the
+	// transport's hello message), so the providers fan heartbeats out to it
+	// and the membership view converges without manual bootstrapping.
+	if err := client.WaitForProviders(2, 15*time.Second); err != nil {
+		t.Fatalf("providers not visible: %v", err)
+	}
+
+	// Full file lifecycle over real sockets.
+	attrs := wire.DefaultAttrs()
+	attrs.ReplDeg = 2
+	f, err := client.Create("/tcp-file", attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("sorrento-over-tcp "), 1000)
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := client.Open("/tcp-file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(payload))
+	if _, err := g.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("content mismatch over TCP")
+	}
+
+	// Namespace listing and removal work too.
+	entries, err := client.ReadDir("/")
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("ReadDir = %v, %v", entries, err)
+	}
+	if err := client.Remove("/tcp-file"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Stat("/tcp-file"); err == nil {
+		t.Fatal("file survives removal")
+	}
+}
+
+func TestTCPProviderHeartbeatDiscovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time sockets test")
+	}
+	clock := simtime.Real()
+	mcfg := membership.Config{HeartbeatInterval: 50 * time.Millisecond, FailureFactor: 10}
+	pcfg := provider.DefaultConfig()
+	pcfg.OpCost = provider.NoOpCost
+	pcfg.Membership = mcfg
+
+	a, b := freePort(t), freePort(t)
+	mk := func(addr string, seeds []string) *provider.Provider {
+		net := &transport.TCPNetwork{Bind: addr, Seeds: seeds}
+		d := disk.New(clock, addr, disk.Model{TransferRate: 1e12}, 1<<30)
+		p, err := provider.New(wire.NodeID(addr), clock, pcfg, net, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Start()
+		return p
+	}
+	p1 := mk(a, nil) // knows nobody
+	defer p1.Stop()
+	p2 := mk(b, []string{a}) // seeds p1; p1 learns p2 from its heartbeats
+	defer p2.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if p1.Members().IsLive(wire.NodeID(b)) && p2.Members().IsLive(wire.NodeID(a)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mutual discovery failed: p1 sees %v, p2 sees %v",
+				p1.Members().Live(), p2.Members().Live())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// callEnvelope frames one TCP request.
+type callEnvelope struct {
+	From wire.NodeID
+	Msg  any
+}
+
+// replyEnvelope frames one TCP response.
+type replyEnvelope struct {
+	Msg any
+	Err string
+}
+
+func init() {
+	gob.Register(callEnvelope{})
+	gob.Register(replyEnvelope{})
+	gob.Register(helloMsg{})
+}
+
+// TCPNode is a real-network endpoint for the cmd/ daemons: requests travel
+// over TCP (gob-framed), and the multicast channel is emulated by UDP
+// fan-out to the known peer set (seed addresses plus every sender ever
+// heard from — heartbeats make the set converge). A node's ID is its
+// advertised host:port.
+type TCPNode struct {
+	id      wire.NodeID
+	handler Handler
+	ln      net.Listener
+	udp     *net.UDPConn
+
+	mu     sync.Mutex
+	peers  map[string]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ Endpoint = (*TCPNode)(nil)
+
+// ListenTCP starts serving on bind (TCP and UDP on the same port).
+// advertise is the address peers use to reach this node (defaults to bind);
+// seeds are initial peer addresses for the multicast emulation.
+func ListenTCP(bind, advertise string, seeds []string, h Handler) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen tcp %s: %w", bind, err)
+	}
+	// The UDP socket shares the TCP listener's resolved port so one
+	// advertised address reaches both; the advertised ID defaults to the
+	// resolved address (":0" binds pick their port at listen time).
+	resolved := ln.Addr().String()
+	if advertise == "" {
+		advertise = resolved
+	}
+	uaddr, err := net.ResolveUDPAddr("udp", resolved)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	udp, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("transport: listen udp %s: %w", resolved, err)
+	}
+	n := &TCPNode{
+		id:      wire.NodeID(advertise),
+		handler: h,
+		ln:      ln,
+		udp:     udp,
+		peers:   make(map[string]bool),
+	}
+	for _, s := range seeds {
+		if s != "" && s != advertise {
+			n.peers[s] = true
+		}
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.udpLoop()
+	// Announce ourselves to the seeds so their multicast fan-out includes
+	// this node (pure listeners — clients — would otherwise never hear
+	// heartbeats).
+	n.Multicast(helloMsg{From: n.id})
+	return n, nil
+}
+
+// helloMsg introduces a new node to its seeds' peer sets. Receivers learn
+// the sender's address from the envelope; the message itself is ignored by
+// every cast handler.
+type helloMsg struct{ From wire.NodeID }
+
+// ID implements Endpoint.
+func (n *TCPNode) ID() wire.NodeID { return n.id }
+
+// Host implements Endpoint (a TCP node is its own host).
+func (n *TCPNode) Host() wire.NodeID { return n.id }
+
+// Call implements Endpoint.
+func (n *TCPNode) Call(ctx context.Context, to wire.NodeID, req any) (any, error) {
+	if n.isClosed() {
+		return nil, ErrClosed
+	}
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", string(to))
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrTimeout, to, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+	} else {
+		conn.SetDeadline(time.Now().Add(60 * time.Second))
+	}
+	env := callEnvelope{From: n.id, Msg: req}
+	if err := gob.NewEncoder(conn).Encode(&env); err != nil {
+		return nil, fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	var reply replyEnvelope
+	if err := gob.NewDecoder(conn).Decode(&reply); err != nil {
+		return nil, fmt.Errorf("%w: reply from %s: %v", ErrTimeout, to, err)
+	}
+	if reply.Err != "" {
+		return nil, fmt.Errorf("transport: remote %s: %s", to, reply.Err)
+	}
+	return reply.Msg, nil
+}
+
+// Multicast implements Endpoint via UDP fan-out to the known peers.
+func (n *TCPNode) Multicast(msg any) {
+	if n.isClosed() {
+		return
+	}
+	var buf bytes.Buffer
+	env := callEnvelope{From: n.id, Msg: msg}
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		return
+	}
+	n.mu.Lock()
+	peers := make([]string, 0, len(n.peers))
+	for p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	for _, p := range peers {
+		addr, err := net.ResolveUDPAddr("udp", p)
+		if err != nil {
+			continue
+		}
+		n.udp.WriteToUDP(buf.Bytes(), addr)
+	}
+}
+
+// AddPeer adds an address to the multicast peer set.
+func (n *TCPNode) AddPeer(addr string) {
+	if addr == "" || addr == string(n.id) {
+		return
+	}
+	n.mu.Lock()
+	n.peers[addr] = true
+	n.mu.Unlock()
+}
+
+// Close implements Endpoint.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	n.ln.Close()
+	n.udp.Close()
+	n.wg.Wait()
+	return nil
+}
+
+func (n *TCPNode) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		go n.serve(conn)
+	}
+}
+
+func (n *TCPNode) serve(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Minute))
+	var env callEnvelope
+	if err := gob.NewDecoder(conn).Decode(&env); err != nil {
+		return
+	}
+	n.AddPeer(string(env.From))
+	resp, err := n.handler.HandleCall(context.Background(), env.From, env.Msg)
+	reply := replyEnvelope{Msg: resp}
+	if err != nil {
+		reply.Err = err.Error()
+	}
+	gob.NewEncoder(conn).Encode(&reply)
+}
+
+func (n *TCPNode) udpLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		sz, _, err := n.udp.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		var env callEnvelope
+		if err := gob.NewDecoder(bytes.NewReader(buf[:sz])).Decode(&env); err != nil {
+			continue
+		}
+		n.AddPeer(string(env.From))
+		n.handler.HandleCast(env.From, env.Msg)
+	}
+}
+
+// TCPNetwork adapts ListenTCP to the Network interface so provider/client
+// constructors can run unchanged over real sockets. Join's id must be the
+// node's advertised host:port; bind defaults to the same address.
+type TCPNetwork struct {
+	// Bind optionally overrides the listen address (e.g. ":0" behind NAT).
+	Bind string
+	// Seeds are the initial multicast peers for every joined node.
+	Seeds []string
+}
+
+// Join implements Network.
+func (t *TCPNetwork) Join(id wire.NodeID, h Handler) (Endpoint, error) {
+	bind := t.Bind
+	if bind == "" {
+		bind = string(id)
+	}
+	advertise := string(id)
+	// A ":0" id means "pick a port": let ListenTCP advertise the resolved
+	// address instead of the unusable port-zero one.
+	if _, port, err := net.SplitHostPort(advertise); err == nil && port == "0" {
+		advertise = ""
+	}
+	return ListenTCP(bind, advertise, t.Seeds, h)
+}
+
+// JoinAt implements Network; co-location has no special meaning over real
+// sockets, so it behaves like Join.
+func (t *TCPNetwork) JoinAt(id, _ wire.NodeID, h Handler) (Endpoint, error) {
+	return t.Join(id, h)
+}

@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+type tcpEcho struct {
+	mu    sync.Mutex
+	casts []any
+}
+
+func (h *tcpEcho) HandleCall(_ context.Context, from wire.NodeID, req any) (any, error) {
+	return req, nil
+}
+
+func (h *tcpEcho) HandleCast(from wire.NodeID, msg any) {
+	h.mu.Lock()
+	h.casts = append(h.casts, msg)
+	h.mu.Unlock()
+}
+
+func (h *tcpEcho) castCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.casts)
+}
+
+func TestTCPCallRoundTrip(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0", "", nil, &tcpEcho{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// Rebind with the actual port as the advertised ID.
+	b, err := ListenTCP("127.0.0.1:0", "", nil, &tcpEcho{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	bAddr := wire.NodeID(b.ln.Addr().String())
+	resp, err := a.Call(context.Background(), bAddr, wire.SegRead{Offset: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.(wire.SegRead); got.Offset != 99 {
+		t.Errorf("echo = %+v", got)
+	}
+}
+
+func TestTCPCallConnectionRefused(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0", "", nil, &tcpEcho{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := a.Call(ctx, "127.0.0.1:1", wire.SegRead{}); err == nil {
+		t.Fatal("call to dead address succeeded")
+	}
+}
+
+func TestTCPMulticastFanOut(t *testing.T) {
+	recv := &tcpEcho{}
+	b, err := ListenTCP("127.0.0.1:0", "", nil, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	bAddr := b.ln.Addr().String()
+
+	a, err := ListenTCP("127.0.0.1:0", "", []string{bAddr}, &tcpEcho{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	a.Multicast(wire.Heartbeat{From: a.ID(), Seq: 1})
+	deadline := time.After(3 * time.Second)
+	for recv.castCount() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("multicast never arrived")
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func TestTCPPeerLearning(t *testing.T) {
+	recv := &tcpEcho{}
+	b, err := ListenTCP("127.0.0.1:0", "", nil, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	bAddr := wire.NodeID(b.ln.Addr().String())
+
+	a, err := ListenTCP("127.0.0.1:0", "", nil, &tcpEcho{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// a calls b: b should learn a as a peer and reach it via multicast.
+	// a's advertised ID defaults to its bind (resolved at runtime), so set
+	// it via a fresh node instead: here we simply assert b recorded a peer.
+	if _, err := a.Call(context.Background(), bAddr, wire.SegRead{}); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	peers := len(b.peers)
+	b.mu.Unlock()
+	if peers == 0 {
+		t.Error("callee did not learn the caller as a peer")
+	}
+}
+
+func TestTCPClosedNodeRejectsCalls(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0", "", nil, &tcpEcho{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if _, err := a.Call(context.Background(), "127.0.0.1:1", wire.SegRead{}); err != ErrClosed {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	// Idempotent close.
+	a.Close()
+}
+
+func TestTCPNetworkJoin(t *testing.T) {
+	net := &TCPNetwork{Bind: "127.0.0.1:0"}
+	ep, err := net.Join("127.0.0.1:0", &tcpEcho{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if ep.Host() != ep.ID() {
+		t.Error("TCP node host != id")
+	}
+}

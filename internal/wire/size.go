@@ -1,0 +1,68 @@
+package wire
+
+// Approximate on-wire sizes, used by the simulated fabric to charge NIC
+// transmission time. Sizes only need to be right to first order: control
+// messages are ~a hundred bytes, data messages are dominated by payload.
+const (
+	// headerBytes approximates transport framing plus small struct fields.
+	headerBytes = 96
+	// entryBytes approximates one serialized LocEntry / OwnerInfo / DirEntry.
+	entryBytes = 48
+)
+
+// Sizer lets message types outside this package (the baseline systems')
+// report their own wire size.
+type Sizer interface {
+	WireSize() int
+}
+
+// SizeOf estimates the serialized size of a message in bytes.
+func SizeOf(msg any) int {
+	if s, ok := msg.(Sizer); ok {
+		return s.WireSize()
+	}
+	switch m := msg.(type) {
+	case SegWrite:
+		return headerBytes + len(m.Data)
+	case *SegWrite:
+		return headerBytes + len(m.Data)
+	case SegReadResp:
+		return headerBytes + len(m.Data) + len(m.Owners)*entryBytes
+	case *SegReadResp:
+		return headerBytes + len(m.Data) + len(m.Owners)*entryBytes
+	case SegCreate:
+		return headerBytes + len(m.Data)
+	case *SegCreate:
+		return headerBytes + len(m.Data)
+	case SegFetchResp:
+		return headerBytes + len(m.Data)
+	case *SegFetchResp:
+		return headerBytes + len(m.Data)
+	case SegFetchDeltaResp:
+		n := headerBytes + len(m.Full)
+		for _, r := range m.Ranges {
+			n += len(r.Data) + 16
+		}
+		return n
+	case *SegFetchDeltaResp:
+		n := headerBytes + len(m.Full)
+		for _, r := range m.Ranges {
+			n += len(r.Data) + 16
+		}
+		return n
+	case LocRefresh:
+		return headerBytes + len(m.Entries)*entryBytes
+	case *LocRefresh:
+		return headerBytes + len(m.Entries)*entryBytes
+	case LocQueryResp:
+		return headerBytes + len(m.Owners)*entryBytes
+	case *LocQueryResp:
+		return headerBytes + len(m.Owners)*entryBytes
+	case NSReadDirResp:
+		return headerBytes + len(m.Entries)*entryBytes
+	case *NSReadDirResp:
+		return headerBytes + len(m.Entries)*entryBytes
+	default:
+		return headerBytes
+	}
+}

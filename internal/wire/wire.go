@@ -1,0 +1,610 @@
+// Package wire defines the shared on-the-wire schema of the Sorrento
+// protocols: node identities, file/segment metadata, and every RPC message
+// exchanged between clients, storage providers, and namespace servers. All
+// message types are plain data (gob-encodable) so the same protocol code
+// runs over the in-process simulated fabric and the real TCP transport.
+//
+// By convention messages are immutable once sent; senders must not retain
+// and mutate payload buffers.
+package wire
+
+import (
+	"encoding/gob"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// NodeID names a cluster node. Over the simulated fabric it is a symbolic
+// name ("p3"); over TCP it is a host:port address.
+type NodeID string
+
+// LayoutMode selects how a logical file's byte array maps onto data
+// segments (paper §3.2, Figure 3).
+type LayoutMode uint8
+
+const (
+	// Linear concatenates variable-length segments; suited to sequential
+	// access. Segment sizes grow per the paper's sizing formula.
+	Linear LayoutMode = iota
+	// Striped spreads fixed-size stripes RAID-0 style across a fixed number
+	// of equal segments; file size must be declared at creation.
+	Striped
+	// Hybrid concatenates groups of striped segments, combining parallel
+	// I/O with open-ended growth.
+	Hybrid
+)
+
+func (m LayoutMode) String() string {
+	switch m {
+	case Linear:
+		return "linear"
+	case Striped:
+		return "striped"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return "unknown"
+	}
+}
+
+// PlacementPolicy selects how new segment locations are chosen (paper §3.7).
+type PlacementPolicy uint8
+
+const (
+	// PlaceLoadAware uses the weighted-random f_l/f_s scheme.
+	PlaceLoadAware PlacementPolicy = iota
+	// PlaceRandom places uniformly at random (the Sorrento-random baseline
+	// in Figure 14).
+	PlaceRandom
+	// PlaceLocal places new segments on the creating client's node when it
+	// is a provider, falling back to load-aware placement.
+	PlaceLocal
+)
+
+func (p PlacementPolicy) String() string {
+	switch p {
+	case PlaceLoadAware:
+		return "load-aware"
+	case PlaceRandom:
+		return "random"
+	case PlaceLocal:
+		return "local"
+	default:
+		return "unknown"
+	}
+}
+
+// FileAttrs carries the per-file tuning knobs applications can set through
+// the extended API (paper §2.3, §3.6, §3.7.2).
+type FileAttrs struct {
+	// ReplDeg is the replication degree; 1 means unreplicated.
+	ReplDeg int
+	// Alpha in [0,1] biases placement toward load (1) or space (0).
+	Alpha float64
+	// Mode is the data organization mode.
+	Mode LayoutMode
+	// StripeCount is the number of segments per stripe group (Striped and
+	// Hybrid modes).
+	StripeCount int
+	// StripeUnit is the striping block size in bytes (Striped and Hybrid).
+	StripeUnit int64
+	// DeclaredSize is the file size required by Striped mode.
+	DeclaredSize int64
+	// Policy selects the placement policy.
+	Policy PlacementPolicy
+	// VersioningOff disables version-based consistency for this file;
+	// reads and writes then apply in place and replication is disabled
+	// (paper §3.5, used by the byte-range sharing primitive).
+	VersioningOff bool
+	// LocalityThreshold, when > 0.5, enables locality-driven migration for
+	// the file's segments: a segment migrates to a node contributing more
+	// than this fraction of its recent traffic (paper §3.7.2).
+	LocalityThreshold float64
+}
+
+// DefaultAttrs are the attributes files get when the application does not
+// customize them.
+func DefaultAttrs() FileAttrs {
+	return FileAttrs{ReplDeg: 1, Alpha: 0.5, Mode: Linear}
+}
+
+// FileEntry is the namespace server's per-file record — Sorrento's inode
+// equivalent (paper §3.1). It deliberately contains no physical locations.
+type FileEntry struct {
+	Path     string
+	FileID   ids.FileID
+	Version  uint64 // latest committed version of the index segment
+	Size     int64  // logical size as of the latest commit
+	Attrs    FileAttrs
+	Created  time.Time
+	Modified time.Time
+	// Attached holds small-file data embedded in the namespace entry's
+	// index segment record when the whole file fits (≤ MaxAttachSize)...
+	// kept in the index segment itself, not here; see layout.Index.
+}
+
+// DirEntry is one row of a directory listing.
+type DirEntry struct {
+	Name  string
+	IsDir bool
+	Entry *FileEntry // nil for directories
+}
+
+// LoadInfo is the load/space state gossiped in heartbeats (paper §3.3).
+type LoadInfo struct {
+	// Rack labels the node's failure domain for rack-aware replica
+	// placement (paper §3.7.2's planned GoogleFS-style extension). Empty
+	// means unlabeled.
+	Rack string
+	// Load is the node's CPU and I/O wait utilization l in [0,1].
+	Load float64
+	// IOWaitEWMA is the exponentially weighted I/O wait percentage used by
+	// the migration trigger.
+	IOWaitEWMA float64
+	// FreeBytes and TotalBytes describe storage availability.
+	FreeBytes  int64
+	TotalBytes int64
+}
+
+// UsedFrac returns the fraction of storage consumed.
+func (l LoadInfo) UsedFrac() float64 {
+	if l.TotalBytes <= 0 {
+		return 0
+	}
+	return 1 - float64(l.FreeBytes)/float64(l.TotalBytes)
+}
+
+// OwnerInfo names one replica holder of a segment with its version.
+type OwnerInfo struct {
+	Node    NodeID
+	Version uint64
+}
+
+// ---------------------------------------------------------------------------
+// Membership (multicast)
+
+// Heartbeat is the periodic multicast announcement from each provider.
+type Heartbeat struct {
+	From NodeID
+	Seq  uint64
+	Load LoadInfo
+}
+
+// ---------------------------------------------------------------------------
+// Namespace server RPCs
+
+// NSLookup resolves a path to its file entry.
+type NSLookup struct{ Path string }
+
+// NSLookupResp returns the entry; OK=false when the path does not exist.
+type NSLookupResp struct {
+	OK    bool
+	Entry FileEntry
+}
+
+// NSCreate creates a file entry. Fails if it exists.
+type NSCreate struct {
+	Path   string
+	FileID ids.FileID
+	Attrs  FileAttrs
+}
+
+// NSCreateResp acknowledges creation.
+type NSCreateResp struct {
+	OK    bool
+	Err   string
+	Entry FileEntry
+}
+
+// NSRemove unlinks a file entry.
+type NSRemove struct{ Path string }
+
+// NSRemoveResp returns the removed entry so the client can eagerly delete
+// replicas (paper §4.1.1: "Sorrento eagerly removes all replicas when a file
+// is unlinked").
+type NSRemoveResp struct {
+	OK    bool
+	Err   string
+	Entry FileEntry
+}
+
+// NSMkdir creates a directory.
+type NSMkdir struct{ Path string }
+
+// NSRmdir removes an empty directory.
+type NSRmdir struct{ Path string }
+
+// NSReadDir lists a directory.
+type NSReadDir struct{ Path string }
+
+// NSReadDirResp returns the listing.
+type NSReadDirResp struct {
+	OK      bool
+	Err     string
+	Entries []DirEntry
+}
+
+// NSGenericResp is a bare ok/err response.
+type NSGenericResp struct {
+	OK  bool
+	Err string
+}
+
+// NSCommitBegin asks for approval to commit a new version whose base is
+// BaseVersion (paper §3.5 step 7). The server grants a short exclusive
+// commit window; a base version older than the latest is a conflict.
+type NSCommitBegin struct {
+	FileID  ids.FileID
+	Path    string
+	BaseVer uint64
+}
+
+// NSCommitBeginResp grants or rejects the commit window.
+type NSCommitBeginResp struct {
+	OK        bool
+	Conflict  bool   // base version stale: another process committed first
+	Blocked   bool   // another commit window is open; retry
+	LatestVer uint64 // the server's current latest version
+	Ticket    uint64 // commit window ticket to present at complete/abort
+}
+
+// NSCommitComplete finalizes a commit, advancing the latest version
+// (paper §3.5 step 9).
+type NSCommitComplete struct {
+	FileID  ids.FileID
+	Path    string
+	NewVer  uint64
+	Ticket  uint64
+	NewSize int64
+}
+
+// NSCommitAbort releases a commit window without advancing the version.
+type NSCommitAbort struct {
+	FileID ids.FileID
+	Path   string
+	Ticket uint64
+}
+
+// NSLeaseAcquire requests a write-lock lease so cooperating processes can
+// avoid commit conflicts (paper §3.5).
+type NSLeaseAcquire struct {
+	Path   string
+	Owner  string
+	TTLSec float64
+}
+
+// NSLeaseAcquireResp grants or denies the lease.
+type NSLeaseAcquireResp struct {
+	OK     bool
+	Holder string // current holder when denied
+}
+
+// NSLeaseRelease releases a write-lock lease.
+type NSLeaseRelease struct {
+	Path  string
+	Owner string
+}
+
+// ---------------------------------------------------------------------------
+// Provider segment I/O RPCs
+
+// SegRead asks a node for segment bytes. Clients address the segment's home
+// host first; a home host that does not own the segment answers with a
+// redirect carrying the owner set (paper §3.4, Figure 7 step 3).
+type SegRead struct {
+	Seg     ids.SegID
+	Version uint64 // 0 means latest
+	Offset  int64
+	Length  int64
+}
+
+// SegReadResp returns data, a redirect, or an error.
+type SegReadResp struct {
+	OK       bool
+	Err      string
+	Redirect bool
+	Owners   []OwnerInfo // set when Redirect
+	Version  uint64
+	Data     []byte
+	EOF      bool
+}
+
+// SegCreate materializes a brand-new segment (version 1) on a provider.
+type SegCreate struct {
+	Seg     ids.SegID
+	Version uint64
+	Data    []byte
+	// ReplDeg and Home let the owner register the segment and its desired
+	// replication degree with the home host.
+	ReplDeg int
+	// LocalityThreshold propagates the file's locality-driven policy.
+	LocalityThreshold float64
+	// Direct marks the segment versioning-off: subsequent writes apply in
+	// place and replication is disabled (paper §3.5).
+	Direct bool
+}
+
+// SegCreateResp acknowledges creation.
+type SegCreateResp struct {
+	OK  bool
+	Err string
+}
+
+// SegShadow creates a copy-on-write shadow of Base (paper §3.5): a blank
+// segment truncated to the base's size whose unmodified regions resolve to
+// the base version. Owner identifies the writing session; each session gets
+// its own shadow so concurrent writers only conflict at commit time.
+type SegShadow struct {
+	Owner   string
+	Seg     ids.SegID
+	BaseVer uint64
+	TTLSec  float64 // shadow expiration; must commit or renew before then
+	// ReplDeg and LocalityThreshold seed the segment's policies when the
+	// shadow creates a brand-new segment.
+	ReplDeg           int
+	LocalityThreshold float64
+}
+
+// SegShadowResp acknowledges shadow creation.
+type SegShadowResp struct {
+	OK      bool
+	Err     string
+	NewVer  uint64 // the version the shadow will commit as
+	Size    int64
+	Created bool // false when a shadow already existed (renewed instead)
+}
+
+// SegWrite writes into an open shadow (or directly, for versioning-off
+// segments).
+type SegWrite struct {
+	Owner  string
+	Seg    ids.SegID
+	Offset int64
+	Data   []byte
+	Direct bool // versioning disabled: apply in place
+}
+
+// SegShadowRead reads back a session's own uncommitted shadow view
+// (read-your-writes within a write session).
+type SegShadowRead struct {
+	Owner  string
+	Seg    ids.SegID
+	Offset int64
+	Length int64
+}
+
+// SegWriteResp acknowledges the write.
+type SegWriteResp struct {
+	OK  bool
+	Err string
+	N   int
+}
+
+// SegTruncate resizes an open shadow.
+type SegTruncate struct {
+	Owner string
+	Seg   ids.SegID
+	Size  int64
+}
+
+// SegRenew resets a shadow's expiration timer.
+type SegRenew struct {
+	Owner  string
+	Seg    ids.SegID
+	TTLSec float64
+}
+
+// SegDrop discards an uncommitted shadow.
+type SegDrop struct {
+	Owner string
+	Seg   ids.SegID
+}
+
+// SegDelete removes a segment and all its versions.
+type SegDelete struct{ Seg ids.SegID }
+
+// SegPin marks (or releases) a committed segment version as a milestone
+// that version consolidation must never reclaim.
+type SegPin struct {
+	Seg     ids.SegID
+	Version uint64 // 0 = latest
+	Unpin   bool
+}
+
+// SegStat asks for a segment's local state.
+type SegStat struct{ Seg ids.SegID }
+
+// SegStatResp describes the local copy.
+type SegStatResp struct {
+	OK      bool
+	Version uint64
+	Size    int64
+	Shadow  bool // an uncommitted shadow exists
+}
+
+// SegFetch retrieves a whole segment version (replica sync, repair,
+// migration).
+type SegFetch struct {
+	Seg     ids.SegID
+	Version uint64 // 0 = latest committed
+}
+
+// SegFetchResp carries the full segment payload.
+type SegFetchResp struct {
+	OK      bool
+	Err     string
+	Version uint64
+	Data    []byte
+	// ReplDeg and LocalityThreshold travel with the payload so the new
+	// owner inherits the segment's policies.
+	ReplDeg           int
+	LocalityThreshold float64
+}
+
+// DeltaRange is one changed byte range shipped by delta replica sync.
+type DeltaRange struct {
+	Off  int64
+	Data []byte
+}
+
+// SegFetchDelta asks an owner for the changes needed to advance a replica
+// from HaveVer to the latest version (delta sync, paper §3.6: stale
+// replicas "retrieve the updates").
+type SegFetchDelta struct {
+	Seg     ids.SegID
+	HaveVer uint64
+}
+
+// SegFetchDeltaResp carries the update ranges, or a full payload when the
+// intermediate change sets are no longer retained.
+type SegFetchDeltaResp struct {
+	OK                bool
+	Err               string
+	Version           uint64
+	Size              int64
+	Ranges            []DeltaRange
+	FullFallback      bool
+	Full              []byte
+	ReplDeg           int
+	LocalityThreshold float64
+}
+
+// GenericResp is a bare ok/err response shared by simple provider RPCs.
+type GenericResp struct {
+	OK  bool
+	Err string
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase commit (paper §3.5, Figure 7 step 8)
+
+// Prepare2PC asks a provider to prepare a session's shadow segments for
+// commit. Preparing locks each segment's commit slot and fixes the version
+// the shadow will commit as.
+type Prepare2PC struct {
+	Owner string
+	Segs  []ids.SegID
+}
+
+// Prepare2PCResp votes; PlannedVers[i] is the version Segs[i] will become.
+type Prepare2PCResp struct {
+	OK          bool
+	Err         string
+	PlannedVers []uint64
+	Sizes       []int64
+}
+
+// Commit2PC finalizes prepared shadows, making them the latest committed
+// versions.
+type Commit2PC struct {
+	Owner string
+	Segs  []ids.SegID
+}
+
+// Abort2PC rolls prepared shadows back and discards them.
+type Abort2PC struct {
+	Owner string
+	Segs  []ids.SegID
+}
+
+// ---------------------------------------------------------------------------
+// Data location (paper §3.4)
+
+// LocEntry is one owner record pushed to a home host.
+type LocEntry struct {
+	Seg               ids.SegID
+	Version           uint64
+	Size              int64
+	ReplDeg           int
+	LocalityThreshold float64
+}
+
+// LocRefresh is the periodic (or event-driven) content refresh: an owner
+// tells a home host which of its local segments the home tracks.
+type LocRefresh struct {
+	From    NodeID
+	Entries []LocEntry
+}
+
+// LocUpdate is the fast-path single-segment update on creation, deletion,
+// version advance, or home-host change (paper §3.4.1 event 4).
+type LocUpdate struct {
+	From    NodeID
+	Entry   LocEntry
+	Removed bool
+}
+
+// LocQuery asks a home host who owns a segment.
+type LocQuery struct{ Seg ids.SegID }
+
+// LocQueryResp lists the owners known to the home host.
+type LocQueryResp struct {
+	OK     bool
+	Owners []OwnerInfo
+}
+
+// LocProbe is the multicast backup scheme (paper §3.4.2): every provider
+// that owns the segment responds directly to the asker.
+type LocProbe struct {
+	Seg   ids.SegID
+	Asker NodeID
+	Nonce uint64
+}
+
+// LocProbeResp is a unicast answer to a LocProbe.
+type LocProbeResp struct {
+	Seg     ids.SegID
+	Nonce   uint64
+	Owner   NodeID
+	Version uint64
+}
+
+// ---------------------------------------------------------------------------
+// Replication control (paper §3.6)
+
+// SyncNotify tells a stale owner to pull the latest version from Source.
+type SyncNotify struct {
+	Seg     ids.SegID
+	Version uint64
+	Source  NodeID
+}
+
+// ReplicateNotify tells a chosen node to become a new replica site by
+// fetching from Source.
+type ReplicateNotify struct {
+	Seg               ids.SegID
+	Version           uint64
+	Source            NodeID
+	ReplDeg           int
+	LocalityThreshold float64
+}
+
+// MigrateRequest tells a provider to hand a segment to Dest and erase the
+// local copy once Dest has it (migration = replicate + erase, §3.7.1).
+type MigrateRequest struct {
+	Seg  ids.SegID
+	Dest NodeID
+}
+
+func init() {
+	for _, m := range []any{
+		Heartbeat{},
+		NSLookup{}, NSLookupResp{}, NSCreate{}, NSCreateResp{},
+		NSRemove{}, NSRemoveResp{}, NSMkdir{}, NSRmdir{},
+		NSReadDir{}, NSReadDirResp{}, NSGenericResp{},
+		NSCommitBegin{}, NSCommitBeginResp{}, NSCommitComplete{}, NSCommitAbort{},
+		NSLeaseAcquire{}, NSLeaseAcquireResp{}, NSLeaseRelease{},
+		SegRead{}, SegReadResp{}, SegCreate{}, SegCreateResp{},
+		SegShadow{}, SegShadowResp{}, SegWrite{}, SegWriteResp{}, SegShadowRead{},
+		SegTruncate{}, SegRenew{}, SegDrop{}, SegDelete{},
+		SegStat{}, SegStatResp{}, SegFetch{}, SegFetchResp{}, GenericResp{}, SegPin{},
+		SegFetchDelta{}, SegFetchDeltaResp{},
+		Prepare2PC{}, Prepare2PCResp{}, Commit2PC{}, Abort2PC{},
+		LocRefresh{}, LocUpdate{}, LocQuery{}, LocQueryResp{},
+		LocProbe{}, LocProbeResp{},
+		SyncNotify{}, ReplicateNotify{}, MigrateRequest{},
+	} {
+		gob.Register(m)
+	}
+}

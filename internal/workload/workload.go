@@ -1,0 +1,323 @@
+// Package workload generates the application workloads of the paper's
+// evaluation as replayable traces: the small-file and bulk microbenchmarks
+// (§4.1–4.2.1), the NAS BTIO block-tridiagonal I/O pattern and the parallel
+// Protein Sequence Matching service (§4.2.2, §4.5), and the Ask Jeeves web
+// crawler (§4.4). The real traces are proprietary or need hardware we do
+// not have; these generators synthesize the properties the experiments
+// depend on (request mix, sizes, skew, timing), as documented in DESIGN.md.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// SmallFileSessions generates `count` create/write/close sessions — the
+// unit of Figure 10's throughput metric. Paths are prefixed so concurrent
+// replayers stay disjoint.
+func SmallFileSessions(prefix string, count int, writeSize int64) *trace.Trace {
+	t := &trace.Trace{}
+	if prefix != "" && prefix != "/" {
+		t.Append(trace.Record{Kind: trace.OpMkdir, Path: prefix})
+	}
+	for i := 0; i < count; i++ {
+		path := fmt.Sprintf("%s/f%06d", prefix, i)
+		t.Append(trace.Record{Kind: trace.OpCreate, Path: path})
+		t.Append(trace.Record{Kind: trace.OpWrite, Path: path, Off: 0, N: writeSize})
+		t.Append(trace.Record{Kind: trace.OpClose, Path: path})
+	}
+	return t
+}
+
+// SmallFileWrites opens each existing file, writes writeSize bytes, and
+// closes it (Figure 9's write benchmark).
+func SmallFileWrites(prefix string, count int, writeSize int64) *trace.Trace {
+	t := &trace.Trace{}
+	for i := 0; i < count; i++ {
+		path := fmt.Sprintf("%s/f%06d", prefix, i)
+		t.Append(trace.Record{Kind: trace.OpOpenWrite, Path: path})
+		t.Append(trace.Record{Kind: trace.OpWrite, Path: path, Off: 0, N: writeSize})
+		t.Append(trace.Record{Kind: trace.OpClose, Path: path})
+	}
+	return t
+}
+
+// SmallFileReads opens each file, reads readSize bytes, closes (Figure 9's
+// read benchmark).
+func SmallFileReads(prefix string, count int, readSize int64) *trace.Trace {
+	t := &trace.Trace{}
+	for i := 0; i < count; i++ {
+		path := fmt.Sprintf("%s/f%06d", prefix, i)
+		t.Append(trace.Record{Kind: trace.OpOpen, Path: path})
+		t.Append(trace.Record{Kind: trace.OpRead, Path: path, Off: 0, N: readSize})
+		t.Append(trace.Record{Kind: trace.OpClose, Path: path})
+	}
+	return t
+}
+
+// SmallFileUnlinks removes the files (Figure 9's unlink benchmark).
+func SmallFileUnlinks(prefix string, count int) *trace.Trace {
+	t := &trace.Trace{}
+	for i := 0; i < count; i++ {
+		t.Append(trace.Record{Kind: trace.OpRemove, Path: fmt.Sprintf("%s/f%06d", prefix, i)})
+	}
+	return t
+}
+
+// BulkParams describe the large-file microbenchmark (§4.2.1): repeated
+// reqSize requests at random aligned offsets within a disjoint set of
+// fileSize files.
+type BulkParams struct {
+	Files    []string
+	FileSize int64
+	ReqSize  int64
+	Requests int
+	Align    int64
+	Write    bool
+	Seed     int64
+}
+
+// Bulk generates the bulkread/bulkwrite trace for one client.
+func Bulk(p BulkParams) *trace.Trace {
+	if p.Align <= 0 {
+		p.Align = 4096
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	t := &trace.Trace{}
+	kind := trace.OpOpen
+	if p.Write {
+		kind = trace.OpOpenWrite
+	}
+	for _, f := range p.Files {
+		t.Append(trace.Record{Kind: kind, Path: f})
+	}
+	slots := (p.FileSize - p.ReqSize) / p.Align
+	if slots < 1 {
+		slots = 1
+	}
+	op := trace.OpRead
+	if p.Write {
+		op = trace.OpWrite
+	}
+	for i := 0; i < p.Requests; i++ {
+		f := p.Files[rng.Intn(len(p.Files))]
+		off := rng.Int63n(slots) * p.Align
+		t.Append(trace.Record{Kind: op, Path: f, Off: off, N: p.ReqSize})
+	}
+	for _, f := range p.Files {
+		t.Append(trace.Record{Kind: trace.OpClose, Path: f})
+	}
+	return t
+}
+
+// BTIOParams describe the NAS BTIO emulation (§4.2.2): P processes
+// cooperatively write a shared solution file in interleaved block-strided
+// chunks over repeated timesteps (MPI-IO list-writes, emulated through
+// byte-range writes with versioning disabled), then read it back.
+type BTIOParams struct {
+	Path      string
+	Processes int
+	Rank      int
+	// BlockSize is one process's contiguous chunk per stride.
+	BlockSize int64
+	// BlocksPerStep is how many strided chunks each process writes per
+	// solution dump.
+	BlocksPerStep int
+	// Steps is the number of solution dumps (class B writes 40).
+	Steps int
+	// ReadFraction of the written data is read back at the end (class B
+	// reads 1.7 GB of the 2.7 GB written ≈ 0.63).
+	ReadFraction float64
+}
+
+// TotalSize returns the shared file size implied by the parameters.
+func (p BTIOParams) TotalSize() int64 {
+	return int64(p.Processes) * p.BlockSize * int64(p.BlocksPerStep) * int64(p.Steps)
+}
+
+// BTIO generates rank's trace.
+func BTIO(p BTIOParams) *trace.Trace {
+	t := &trace.Trace{}
+	t.Append(trace.Record{Kind: trace.OpOpenWrite, Path: p.Path})
+	stride := p.BlockSize * int64(p.Processes)
+	stepBytes := stride * int64(p.BlocksPerStep)
+	for step := 0; step < p.Steps; step++ {
+		base := int64(step) * stepBytes
+		for b := 0; b < p.BlocksPerStep; b++ {
+			off := base + int64(b)*stride + int64(p.Rank)*p.BlockSize
+			t.Append(trace.Record{Kind: trace.OpWrite, Path: p.Path, Off: off, N: p.BlockSize})
+		}
+	}
+	// Read-back phase: each rank re-reads a prefix of its own blocks.
+	readSteps := int(float64(p.Steps) * p.ReadFraction)
+	for step := 0; step < readSteps; step++ {
+		base := int64(step) * stepBytes
+		for b := 0; b < p.BlocksPerStep; b++ {
+			off := base + int64(b)*stride + int64(p.Rank)*p.BlockSize
+			t.Append(trace.Record{Kind: trace.OpRead, Path: p.Path, Off: off, N: p.BlockSize})
+		}
+	}
+	t.Append(trace.Record{Kind: trace.OpClose, Path: p.Path})
+	return t
+}
+
+// PSMParams describe one Protein Sequence Matching service process (§4.2.2,
+// §4.5): it owns three partitions and serves queries, each scanning a few
+// MB from its partitions before handing results to the aggregator.
+type PSMParams struct {
+	// Partitions are the paths of this process's statically assigned
+	// partitions (three in the paper).
+	Partitions []string
+	// PartitionSize is each partition's size.
+	PartitionSize int64
+	// Queries is how many queries to serve.
+	Queries int
+	// ScanBytes is the total bytes one query reads across the partitions.
+	ScanBytes int64
+	// ReadSize is the sequential read granularity.
+	ReadSize int64
+	// Think is the recorded gap between queries (zero for Figure 12's
+	// as-fast-as-possible replay; positive for Figure 15's paced service).
+	Think time.Duration
+	Seed  int64
+}
+
+// PSM generates one service process's trace with query boundary marks.
+func PSM(p PSMParams) *trace.Trace {
+	if p.ReadSize <= 0 {
+		p.ReadSize = 256 << 10
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	t := &trace.Trace{}
+	for _, part := range p.Partitions {
+		t.Append(trace.Record{Kind: trace.OpOpen, Path: part})
+	}
+	perPart := p.ScanBytes / int64(len(p.Partitions))
+	for q := 0; q < p.Queries; q++ {
+		t.Append(trace.Record{Kind: trace.OpQueryStart})
+		for _, part := range p.Partitions {
+			span := p.PartitionSize - perPart
+			if span < 1 {
+				span = 1
+			}
+			start := rng.Int63n(span)
+			for done := int64(0); done < perPart; done += p.ReadSize {
+				n := p.ReadSize
+				if done+n > perPart {
+					n = perPart - done
+				}
+				t.Append(trace.Record{Kind: trace.OpRead, Path: part, Off: start + done, N: n})
+			}
+		}
+		t.Append(trace.Record{Kind: trace.OpQueryEnd})
+		if p.Think > 0 {
+			t.Append(trace.Record{Kind: trace.OpThink, Dur: p.Think})
+		}
+	}
+	for _, part := range p.Partitions {
+		t.Append(trace.Record{Kind: trace.OpClose, Path: part})
+	}
+	return t
+}
+
+// CrawlerParams describe one crawler of the Ask Jeeves workload (§4.4):
+// it crawls a confined set of domains, storing each domain's pages in one
+// append-only file. Domain sizes are heavy-tailed (hundreds to millions of
+// pages) and crawler speeds differ by more than 10×.
+type CrawlerParams struct {
+	// Index identifies the crawler (seeds its randomness and paths).
+	Index int
+	// Domains is how many domains this crawler owns.
+	Domains int
+	// PageSize is one stored page.
+	PageSize int64
+	// MeanPages is the mean pages per domain; sizes follow a Pareto-like
+	// distribution capped at MaxPages.
+	MeanPages float64
+	MaxPages  int64
+	// PagesPerSecond is this crawler's fetch rate (the >10× discrepancy is
+	// injected by the caller).
+	PagesPerSecond float64
+	// Duration bounds the crawl.
+	Duration time.Duration
+	Seed     int64
+}
+
+// Crawler generates one crawler's trace: think-paced appends into its
+// domain files, heavy-tailed in size.
+func Crawler(p CrawlerParams) *trace.Trace {
+	rng := rand.New(rand.NewSource(p.Seed))
+	t := &trace.Trace{}
+	type domain struct {
+		path   string
+		pages  int64
+		stored int64
+	}
+	t.Append(trace.Record{Kind: trace.OpMkdir, Path: "/crawl"})
+	domains := make([]*domain, p.Domains)
+	for i := range domains {
+		pages := paretoPages(rng, p.MeanPages, p.MaxPages)
+		domains[i] = &domain{
+			path:  fmt.Sprintf("/crawl/c%02d-d%03d", p.Index, i),
+			pages: pages,
+		}
+		t.Append(trace.Record{Kind: trace.OpCreate, Path: domains[i].path})
+	}
+	think := time.Duration(float64(time.Second) / p.PagesPerSecond)
+	elapsed := time.Duration(0)
+	closed := make(map[string]bool, len(domains))
+	for elapsed < p.Duration {
+		// Pick the next unfinished domain (crawlers work domain by domain
+		// but interleave when pages remain).
+		var d *domain
+		for _, cand := range domains {
+			if cand.stored < cand.pages {
+				d = cand
+				break
+			}
+		}
+		if d == nil {
+			break
+		}
+		t.Append(trace.Record{Kind: trace.OpThink, Dur: think})
+		t.Append(trace.Record{Kind: trace.OpWrite, Path: d.path, Off: d.stored * p.PageSize, N: p.PageSize})
+		d.stored++
+		if d.stored >= d.pages {
+			// The domain is fully crawled: close (and commit) it now so
+			// its write session does not sit idle for hours.
+			t.Append(trace.Record{Kind: trace.OpClose, Path: d.path})
+			closed[d.path] = true
+		}
+		elapsed += think
+	}
+	for _, d := range domains {
+		if !closed[d.path] {
+			t.Append(trace.Record{Kind: trace.OpClose, Path: d.path})
+		}
+	}
+	return t
+}
+
+// paretoPages draws a heavy-tailed page count with the given mean, capped.
+func paretoPages(rng *rand.Rand, mean float64, max int64) int64 {
+	// Pareto with shape α=1.3 (heavy tail, finite mean): mean = x_m·α/(α−1)
+	// → x_m = mean·(α−1)/α.
+	const alpha = 1.3
+	xm := mean * (alpha - 1) / alpha
+	u := rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	v := int64(xm / math.Pow(u, 1/alpha))
+	if v < 1 {
+		v = 1
+	}
+	if max > 0 && v > max {
+		v = max
+	}
+	return v
+}

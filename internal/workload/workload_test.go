@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func countKinds(t *trace.Trace) map[trace.OpKind]int {
+	out := map[trace.OpKind]int{}
+	for _, r := range t.Records {
+		out[r.Kind]++
+	}
+	return out
+}
+
+func TestSmallFileSessions(t *testing.T) {
+	tr := SmallFileSessions("/s", 10, 12<<10)
+	k := countKinds(tr)
+	if k[trace.OpCreate] != 10 || k[trace.OpWrite] != 10 || k[trace.OpClose] != 10 {
+		t.Errorf("kinds = %v", k)
+	}
+	for _, r := range tr.Records {
+		if r.Kind == trace.OpWrite && r.N != 12<<10 {
+			t.Errorf("write size %d", r.N)
+		}
+	}
+}
+
+func TestSmallFileLifecycleTracesAgree(t *testing.T) {
+	// The write/read/unlink traces must reference the files the create
+	// trace made.
+	c := SmallFileSessions("/s", 5, 100)
+	w := SmallFileWrites("/s", 5, 100)
+	r := SmallFileReads("/s", 5, 100)
+	u := SmallFileUnlinks("/s", 5)
+	paths := map[string]bool{}
+	for _, rec := range c.Records {
+		if rec.Kind == trace.OpCreate {
+			paths[rec.Path] = true
+		}
+	}
+	for _, tr := range []*trace.Trace{w, r, u} {
+		for _, rec := range tr.Records {
+			if rec.Path != "" && !paths[rec.Path] {
+				t.Fatalf("trace references unknown path %s", rec.Path)
+			}
+		}
+	}
+}
+
+func TestBulkRandomOffsetsAligned(t *testing.T) {
+	p := BulkParams{
+		Files:    []string{"/a", "/b"},
+		FileSize: 1 << 20,
+		ReqSize:  64 << 10,
+		Requests: 100,
+		Align:    4096,
+		Seed:     1,
+	}
+	tr := Bulk(p)
+	reads := 0
+	for _, r := range tr.Records {
+		if r.Kind != trace.OpRead {
+			continue
+		}
+		reads++
+		if r.Off%4096 != 0 {
+			t.Errorf("unaligned offset %d", r.Off)
+		}
+		if r.Off+r.N > p.FileSize {
+			t.Errorf("request beyond file: off %d", r.Off)
+		}
+	}
+	if reads != 100 {
+		t.Errorf("reads = %d", reads)
+	}
+}
+
+func TestBulkWriteMode(t *testing.T) {
+	tr := Bulk(BulkParams{Files: []string{"/a"}, FileSize: 1 << 20, ReqSize: 4096, Requests: 10, Write: true, Seed: 2})
+	k := countKinds(tr)
+	if k[trace.OpWrite] != 10 || k[trace.OpRead] != 0 || k[trace.OpOpenWrite] != 1 {
+		t.Errorf("kinds = %v", k)
+	}
+}
+
+func TestBTIODisjointRanks(t *testing.T) {
+	base := BTIOParams{Path: "/btio", Processes: 4, BlockSize: 4096, BlocksPerStep: 3, Steps: 5, ReadFraction: 0.6}
+	covered := map[int64]int{}
+	var totalWritten int64
+	for rank := 0; rank < 4; rank++ {
+		p := base
+		p.Rank = rank
+		tr := BTIO(p)
+		for _, r := range tr.Records {
+			if r.Kind == trace.OpWrite {
+				covered[r.Off]++
+				totalWritten += r.N
+			}
+		}
+	}
+	// Ranks write disjoint interleaved blocks covering the file exactly.
+	for off, n := range covered {
+		if n != 1 {
+			t.Errorf("offset %d written %d times", off, n)
+		}
+	}
+	if totalWritten != base.TotalSize() {
+		t.Errorf("total written %d, want %d", totalWritten, base.TotalSize())
+	}
+}
+
+func TestBTIOReadFraction(t *testing.T) {
+	p := BTIOParams{Path: "/btio", Processes: 2, BlockSize: 4096, BlocksPerStep: 2, Steps: 10, ReadFraction: 0.6}
+	tr := BTIO(p)
+	var read, written int64
+	for _, r := range tr.Records {
+		switch r.Kind {
+		case trace.OpRead:
+			read += r.N
+		case trace.OpWrite:
+			written += r.N
+		}
+	}
+	frac := float64(read) / float64(written)
+	if frac < 0.55 || frac > 0.65 {
+		t.Errorf("read/write fraction = %v", frac)
+	}
+}
+
+func TestPSMQueriesBounded(t *testing.T) {
+	p := PSMParams{
+		Partitions:    []string{"/p0", "/p1", "/p2"},
+		PartitionSize: 10 << 20,
+		Queries:       7,
+		ScanBytes:     3 << 20,
+		ReadSize:      256 << 10,
+		Think:         time.Second,
+		Seed:          3,
+	}
+	tr := PSM(p)
+	k := countKinds(tr)
+	if k[trace.OpQueryStart] != 7 || k[trace.OpQueryEnd] != 7 || k[trace.OpThink] != 7 {
+		t.Errorf("kinds = %v", k)
+	}
+	var perQuery int64
+	inQ := false
+	for _, r := range tr.Records {
+		switch r.Kind {
+		case trace.OpQueryStart:
+			inQ, perQuery = true, 0
+		case trace.OpQueryEnd:
+			inQ = false
+			if perQuery < 3<<20-3*256<<10 || perQuery > 3<<20 {
+				t.Errorf("query scanned %d bytes, want ≈3MB", perQuery)
+			}
+		case trace.OpRead:
+			if !inQ {
+				t.Error("read outside query")
+			}
+			if r.Off+r.N > p.PartitionSize {
+				t.Errorf("read beyond partition: %d+%d", r.Off, r.N)
+			}
+			perQuery += r.N
+		}
+	}
+}
+
+func TestCrawlerAppendsSequentially(t *testing.T) {
+	p := CrawlerParams{
+		Index: 1, Domains: 5, PageSize: 1024, MeanPages: 50, MaxPages: 500,
+		PagesPerSecond: 10, Duration: time.Minute, Seed: 4,
+	}
+	tr := Crawler(p)
+	next := map[string]int64{}
+	writes := 0
+	for _, r := range tr.Records {
+		if r.Kind != trace.OpWrite {
+			continue
+		}
+		writes++
+		if r.Off != next[r.Path] {
+			t.Fatalf("non-append write at %d, expected %d for %s", r.Off, next[r.Path], r.Path)
+		}
+		next[r.Path] += r.N
+	}
+	// 10 pages/s × 60 s = 600 pages max (fewer if domains exhaust).
+	if writes == 0 || writes > 600 {
+		t.Errorf("writes = %d", writes)
+	}
+}
+
+func TestCrawlerHeavyTailedSizes(t *testing.T) {
+	// Across many domains the max/mean ratio must be large (the skew the
+	// load-aware placement experiment depends on).
+	p := CrawlerParams{
+		Index: 0, Domains: 200, PageSize: 1, MeanPages: 100, MaxPages: 1 << 20,
+		PagesPerSecond: 1e9, Duration: 24 * 365 * time.Hour, Seed: 5,
+	}
+	tr := Crawler(p)
+	sizes := map[string]int64{}
+	for _, r := range tr.Records {
+		if r.Kind == trace.OpWrite {
+			sizes[r.Path] += r.N
+		}
+	}
+	var maxSize, total int64
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+		total += s
+	}
+	mean := float64(total) / float64(len(sizes))
+	if float64(maxSize) < 5*mean {
+		t.Errorf("max %d vs mean %.0f: tail not heavy", maxSize, mean)
+	}
+}
+
+func TestParetoPagesBounds(t *testing.T) {
+	p := CrawlerParams{
+		Index: 0, Domains: 50, PageSize: 1, MeanPages: 10, MaxPages: 100,
+		PagesPerSecond: 1e9, Duration: time.Hour, Seed: 6,
+	}
+	tr := Crawler(p)
+	sizes := map[string]int64{}
+	for _, r := range tr.Records {
+		if r.Kind == trace.OpWrite {
+			sizes[r.Path] += r.N
+		}
+	}
+	for d, s := range sizes {
+		if s < 1 || s > 100 {
+			t.Errorf("domain %s size %d outside [1,100]", d, s)
+		}
+	}
+}
