@@ -1,0 +1,25 @@
+# Developer entry points. `make check` is the tier-1 verification gate;
+# `make race` additionally proves the concurrent data path (piece fan-out,
+# parallel 2PC, buffer pooling) clean under the race detector.
+
+RACE_PKGS := ./internal/core ./internal/segstore ./internal/provider ./internal/cluster
+
+.PHONY: check build test vet race bench
+
+check: build vet test race
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race $(RACE_PKGS)
+
+# Parallel data-path microbenchmarks (modeled MB/s per stripe width).
+bench:
+	go test -run XXX -bench 'BenchmarkParallelStriped' -benchtime 3x .

@@ -10,11 +10,15 @@ package repro_test
 // versions and prints the complete tables/series.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/wire"
 )
 
 func reportTo(b *testing.B) io.Writer { return io.Discard }
@@ -78,6 +82,143 @@ func BenchmarkFig11BulkIO(b *testing.B) {
 			b.ReportMetric(last.ReadMBs, sys+"-read-MB/s")
 			b.ReportMetric(last.WrMBs, sys+"-write-MB/s")
 		}
+	}
+}
+
+// Parallel striped I/O microbenchmarks: modeled bulk bandwidth of a single
+// client against an 8-provider cluster as the stripe width grows. The
+// "w8-seq" case keeps the width-8 layout but pins the client's MaxParallelIO
+// knob to 1, isolating the data-path fan-out win from the layout itself.
+const (
+	stripedBenchUnit = 16 << 10 // small units keep the op-cost share high
+	stripedBenchSize = 2 << 20
+)
+
+type stripedBenchCase struct {
+	name   string
+	stripe int // StripeCount of the file layout
+	maxPar int // core.Config.MaxParallelIO (0 = default)
+}
+
+var stripedBenchCases = []stripedBenchCase{
+	{"w1", 1, 0},
+	{"w4", 4, 0},
+	{"w8", 8, 0},
+	{"w8-seq", 8, 1},
+}
+
+func newStripedBenchCluster(b *testing.B, maxPar int) (*cluster.Cluster, *core.Client) {
+	b.Helper()
+	c, err := cluster.New(cluster.Options{Providers: 8, Scale: 0.01})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Stop)
+	if err := c.AwaitStable(8, 2*time.Minute); err != nil {
+		b.Fatal(err)
+	}
+	// Reads must pay the modeled disk every time, not hit the provider cache.
+	for _, p := range c.Providers() {
+		p.Store().SetCacheBytes(0)
+	}
+	cl, err := c.NewClientCfg("bench", func(cfg *core.Config) {
+		if maxPar > 0 {
+			cfg.MaxParallelIO = maxPar
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Close)
+	if err := cl.WaitForProviders(8, 2*time.Minute); err != nil {
+		b.Fatal(err)
+	}
+	return c, cl
+}
+
+func stripedBenchAttrs(stripe int) wire.FileAttrs {
+	return wire.FileAttrs{
+		Mode:         wire.Striped,
+		StripeCount:  stripe,
+		StripeUnit:   stripedBenchUnit,
+		DeclaredSize: stripedBenchSize,
+		ReplDeg:      1,
+		Alpha:        0.5,
+	}
+}
+
+// BenchmarkParallelStripedRead reads a committed striped file end to end and
+// reports the modeled bandwidth per stripe width.
+func BenchmarkParallelStripedRead(b *testing.B) {
+	for _, tc := range stripedBenchCases {
+		b.Run(tc.name, func(b *testing.B) {
+			c, cl := newStripedBenchCluster(b, tc.maxPar)
+			f, err := cl.Create("/bench", stripedBenchAttrs(tc.stripe))
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := make([]byte, stripedBenchSize)
+			for i := range data {
+				data[i] = byte(i)
+			}
+			if _, err := f.WriteAt(data, 0); err != nil {
+				b.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				b.Fatal(err)
+			}
+			f, err = cl.Open("/bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Drop()
+			buf := make([]byte, stripedBenchSize)
+			var modeled time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := c.Clock.Now()
+				if _, err := f.ReadAt(buf, 0); err != nil {
+					b.Fatal(err)
+				}
+				modeled += c.Clock.Now() - t0
+			}
+			b.StopTimer()
+			mbs := float64(stripedBenchSize) * float64(b.N) / modeled.Seconds() / (1 << 20)
+			b.ReportMetric(mbs, "modeled-MB/s")
+		})
+	}
+}
+
+// BenchmarkParallelStripedWrite creates, writes and commits a striped file
+// per iteration (write fan-out plus the parallel 2PC commit round).
+func BenchmarkParallelStripedWrite(b *testing.B) {
+	for _, tc := range stripedBenchCases {
+		b.Run(tc.name, func(b *testing.B) {
+			c, cl := newStripedBenchCluster(b, tc.maxPar)
+			data := make([]byte, stripedBenchSize)
+			for i := range data {
+				data[i] = byte(i)
+			}
+			var modeled time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := c.Clock.Now()
+				f, err := cl.Create(fmt.Sprintf("/bench-%d", i), stripedBenchAttrs(tc.stripe))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := f.WriteAt(data, 0); err != nil {
+					b.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					b.Fatal(err)
+				}
+				modeled += c.Clock.Now() - t0
+			}
+			b.StopTimer()
+			mbs := float64(stripedBenchSize) * float64(b.N) / modeled.Seconds() / (1 << 20)
+			b.ReportMetric(mbs, "modeled-MB/s")
+		})
 	}
 }
 

@@ -178,7 +178,18 @@ func (c *Cluster) NewClientAt(name string, host wire.NodeID) (*core.Client, erro
 	return c.newClient(name, host)
 }
 
+// NewClientCfg attaches a client with a per-client configuration tweak
+// (e.g. MaxParallelIO for fan-out experiments). The mutate hook runs after
+// the harness fills in its defaults.
+func (c *Cluster) NewClientCfg(name string, mutate func(*core.Config)) (*core.Client, error) {
+	return c.newClientCfg(name, "", mutate)
+}
+
 func (c *Cluster) newClient(name string, host wire.NodeID) (*core.Client, error) {
+	return c.newClientCfg(name, host, nil)
+}
+
+func (c *Cluster) newClientCfg(name string, host wire.NodeID, mutate func(*core.Config)) (*core.Client, error) {
 	cfg := core.Config{
 		Namespace:  NamespaceNode,
 		Host:       host,
@@ -192,6 +203,9 @@ func (c *Cluster) newClient(name string, host wire.NodeID) (*core.Client, error)
 	// reasons.
 	if floor := c.Clock.Modeled(5 * time.Second); floor > 5*time.Minute {
 		cfg.ShadowTTL = floor
+	}
+	if mutate != nil {
+		mutate(&cfg)
 	}
 	cl, err := core.NewClient(name, c.Clock, c.Fabric, cfg)
 	if err != nil {

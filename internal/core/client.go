@@ -66,6 +66,12 @@ type Config struct {
 	Membership membership.Config
 	// Seed seeds placement decisions.
 	Seed int64
+	// MaxParallelIO bounds the client's concurrent piece RPCs per file
+	// operation: striped reads/writes, shadow creation, commit rounds and
+	// segment deletion all fan out on at most this many workers. The
+	// default (8) matches the paper's stripe width across an 8-provider
+	// group; 1 restores strictly sequential piece I/O.
+	MaxParallelIO int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +89,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.MaxParallelIO <= 0 {
+		c.MaxParallelIO = 8
 	}
 	return c
 }
@@ -177,6 +186,9 @@ func (c *Client) call(to wire.NodeID, req any) (any, error) {
 }
 
 func (c *Client) ns(req any) (any, error) { return c.call(c.cfg.Namespace, req) }
+
+// parallelism is the fan-out width for piece-level RPCs.
+func (c *Client) parallelism() int { return c.cfg.MaxParallelIO }
 
 // WaitForProviders blocks until at least n providers are visible or the
 // (modeled) timeout elapses.
@@ -317,17 +329,20 @@ func (c *Client) Remove(path string) error {
 		return fmt.Errorf("core: remove %s: %s", path, r.Err)
 	}
 	// Eager removal (paper §4.1.1): every replica of every segment is
-	// deleted before Remove returns, one replica at a time — which is why
+	// deleted before Remove returns. Distinct segments are deleted in
+	// parallel, but a segment's replicas go one at a time — which is why
 	// unlink latency grows with the replication degree in Figure 9.
-	for _, seg := range segs {
+	fanout(len(segs), c.parallelism(), func(i int) error {
+		seg := segs[i]
 		owners, lerr := c.locate(seg)
 		if lerr != nil {
-			continue
+			return nil
 		}
 		for _, o := range owners {
 			c.call(o.Node, wire.SegDelete{Seg: seg})
 		}
-	}
+		return nil
+	})
 	return nil
 }
 

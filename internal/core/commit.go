@@ -113,14 +113,13 @@ func (f *File) commitBody(begin wire.NSCommitBeginResp) error {
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 
-	// Phase one on data segments: learn the versions they will commit as.
-	planned := make(map[ids.SegID]struct {
-		ver  uint64
-		size int64
-	})
-	for _, node := range nodes {
-		segs := byNode[node]
-		resp, err := f.c.call(node, wire.Prepare2PC{Owner: f.owner, Segs: segs})
+	// Phase one on data segments, one round-trip per participant in
+	// parallel: each worker collects its own response, results merge after
+	// the barrier so the shared map sees no concurrent writes.
+	prepared := make([]wire.Prepare2PCResp, len(nodes))
+	err := fanout(len(nodes), f.c.parallelism(), func(i int) error {
+		node := nodes[i]
+		resp, err := f.c.call(node, wire.Prepare2PC{Owner: f.owner, Segs: byNode[node]})
 		if err != nil {
 			return err
 		}
@@ -128,11 +127,22 @@ func (f *File) commitBody(begin wire.NSCommitBeginResp) error {
 		if !ok || !r.OK {
 			return fmt.Errorf("core: prepare on %s: %s", node, r.Err)
 		}
-		for i, seg := range segs {
+		prepared[i] = r
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	planned := make(map[ids.SegID]struct {
+		ver  uint64
+		size int64
+	})
+	for i, node := range nodes {
+		for j, seg := range byNode[node] {
 			planned[seg] = struct {
 				ver  uint64
 				size int64
-			}{r.PlannedVers[i], r.Sizes[i]}
+			}{prepared[i].PlannedVers[j], prepared[i].Sizes[j]}
 		}
 	}
 
@@ -172,8 +182,10 @@ func (f *File) commitBody(begin wire.NSCommitBeginResp) error {
 	}
 	newVer := pr.PlannedVers[0]
 
-	// Phase two everywhere.
-	for _, node := range nodes {
+	// Phase two everywhere: data participants in parallel, then the index
+	// segment last — its commit is what makes the new version reachable.
+	err = fanout(len(nodes), f.c.parallelism(), func(i int) error {
+		node := nodes[i]
 		resp, err := f.c.call(node, wire.Commit2PC{Owner: f.owner, Segs: byNode[node]})
 		if err != nil {
 			return err
@@ -181,6 +193,10 @@ func (f *File) commitBody(begin wire.NSCommitBeginResp) error {
 		if r, ok := resp.(wire.GenericResp); !ok || !r.OK {
 			return fmt.Errorf("core: commit on %s: %s", node, r.Err)
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	resp, err = f.c.call(indexNode, wire.Commit2PC{Owner: f.owner, Segs: []ids.SegID{f.entry.FileID}})
 	if err != nil {
@@ -285,19 +301,25 @@ func (f *File) abortAll() {
 	f.dirty = make(map[ids.SegID]*dirtySeg)
 	f.indexDirty = false
 	f.mu.Unlock()
-	for node, segs := range byNode {
-		f.c.call(node, wire.Abort2PC{Owner: f.owner, Segs: segs})
+	nodes := make([]wire.NodeID, 0, len(byNode))
+	for node := range byNode {
+		nodes = append(nodes, node)
 	}
+	fanout(len(nodes), f.c.parallelism(), func(i int) error {
+		f.c.call(nodes[i], wire.Abort2PC{Owner: f.owner, Segs: byNode[nodes[i]]})
+		return nil
+	})
 }
 
 // syncReplicas pushes the just-committed versions of the touched segments
 // to stale replicas and waits — the synchronous commitment option
 // (paper §3.6).
 func (f *File) syncReplicas(refs []ids.SegID) {
-	for _, seg := range refs {
+	fanout(len(refs), f.c.parallelism(), func(i int) error {
+		seg := refs[i]
 		owners, err := f.c.locate(seg)
 		if err != nil {
-			continue
+			return nil
 		}
 		var latest uint64
 		var source wire.NodeID
@@ -306,12 +328,21 @@ func (f *File) syncReplicas(refs []ids.SegID) {
 				latest, source = o.Version, o.Node
 			}
 		}
+		var stale []wire.OwnerInfo
 		for _, o := range owners {
 			if o.Version < latest {
-				f.c.call(o.Node, wire.SyncNotify{Seg: seg, Version: latest, Source: source})
+				stale = append(stale, o)
 			}
 		}
-	}
+		// The stale replicas of one segment each pull from the same source;
+		// pushing the notifications in parallel lets their catch-up
+		// transfers overlap.
+		fanout(len(stale), f.c.parallelism(), func(j int) error {
+			f.c.call(stale[j].Node, wire.SyncNotify{Seg: seg, Version: latest, Source: source})
+			return nil
+		})
+		return nil
+	})
 }
 
 // Drop discards the session's uncommitted changes (Figure 4's conflict

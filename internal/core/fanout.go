@@ -1,0 +1,59 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// fanout runs fn(0..n-1) on at most width concurrent workers and returns
+// the error of the lowest-indexed failed job, or nil if all succeed. Once
+// any job fails, workers stop picking up new jobs (already-started jobs
+// run to completion), so a mid-stream provider error cancels the remaining
+// fan-out promptly while keeping first-error-by-index semantics
+// deterministic.
+//
+// With n <= 1 or width <= 1 the jobs run inline on the caller's goroutine
+// in index order, preserving the exact behavior (and stack traces) of the
+// old sequential loops for unstriped files and MaxParallelIO=1.
+func fanout(n, width int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 || width <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if width > n {
+		width = n
+	}
+	errs := make([]error, n)
+	var next, failed atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() != 0 {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

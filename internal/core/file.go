@@ -33,6 +33,7 @@ type File struct {
 
 	mu         sync.Mutex
 	dirty      map[ids.SegID]*dirtySeg
+	inflight   map[ids.SegID]chan struct{} // singleflight for shadow opens
 	indexDirty bool
 	owners     map[ids.SegID][]wire.OwnerInfo // owner cache for reads
 	segHome    map[ids.SegID]wire.NodeID      // direct-mode owner pin
@@ -74,6 +75,7 @@ func (c *Client) Create(path string, attrs wire.FileAttrs) (*File, error) {
 		writable: true,
 		owner:    fmt.Sprintf("%s#%d", c.name, c.sessSeq.Add(1)),
 		dirty:    make(map[ids.SegID]*dirtySeg),
+		inflight: make(map[ids.SegID]chan struct{}),
 		owners:   make(map[ids.SegID][]wire.OwnerInfo),
 		segHome:  make(map[ids.SegID]wire.NodeID),
 	}
@@ -121,6 +123,7 @@ func (c *Client) open(path string, writable bool, ver uint64) (*File, error) {
 		writable: writable,
 		owner:    fmt.Sprintf("%s#%d", c.name, c.sessSeq.Add(1)),
 		dirty:    make(map[ids.SegID]*dirtySeg),
+		inflight: make(map[ids.SegID]chan struct{}),
 		owners:   make(map[ids.SegID][]wire.OwnerInfo),
 		segHome:  make(map[ids.SegID]wire.NodeID),
 	}
@@ -275,20 +278,42 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	}
 	f.mu.Unlock()
 
+	// Fan the pieces out across segments (the point of striping, §3.2):
+	// pieces of the same segment stay in submission order within one
+	// worker, distinct segments proceed concurrently. Each job writes only
+	// its own disjoint dst subslice, so a failed fan-out cannot corrupt
+	// bytes owned by other pieces.
+	groups := make([][]job, 0, len(jobs))
+	segGroup := make(map[int]int)
 	for _, j := range jobs {
-		var data []byte
-		var rerr error
-		switch {
-		case j.dirty != nil:
-			data, rerr = f.readShadowPiece(j.dirty.node, j.ref.ID, j.piece)
-		default:
-			data, rerr = f.readCommittedPiece(j.ref, j.piece)
+		gi, ok := segGroup[j.piece.SegIdx]
+		if !ok {
+			gi = len(groups)
+			segGroup[j.piece.SegIdx] = gi
+			groups = append(groups, nil)
 		}
-		if rerr != nil {
-			return int(cursor - int64(len(p))), rerr
+		groups[gi] = append(groups[gi], j)
+	}
+	err = fanout(len(groups), f.c.parallelism(), func(gi int) error {
+		for _, j := range groups[gi] {
+			var data []byte
+			var rerr error
+			switch {
+			case j.dirty != nil:
+				data, rerr = f.readShadowPiece(j.dirty.node, j.ref.ID, j.piece)
+			default:
+				data, rerr = f.readCommittedPiece(j.ref, j.piece)
+			}
+			if rerr != nil {
+				return rerr
+			}
+			copy(j.dst, data)
+			// Short reads (sparse regions of direct segments) leave zeros.
 		}
-		copy(j.dst, data)
-		// Short reads (sparse regions of direct segments) leave zeros.
+		return nil
+	})
+	if err != nil {
+		return int(cursor - int64(len(p))), err
 	}
 	if atEOF {
 		return int(n), io.EOF
@@ -461,33 +486,79 @@ func (f *File) writeShadowRange(p []byte, off int64) (int, error) {
 	f.mu.Unlock()
 
 	f.renewStaleShadows()
+	// Same grouping as ReadAt: per-segment write order is preserved (later
+	// pieces of a segment must land after earlier ones), distinct segments
+	// — including their shadow placement + creation — fan out concurrently.
+	groups := make([][]job, 0, len(jobs))
+	segGroup := make(map[int]int)
 	for _, j := range jobs {
-		node, err := f.ensureShadow(j.ref, j.piece.SegIdx)
-		if err != nil {
-			return 0, err
+		gi, ok := segGroup[j.piece.SegIdx]
+		if !ok {
+			gi = len(groups)
+			segGroup[j.piece.SegIdx] = gi
+			groups = append(groups, nil)
 		}
-		resp, err := f.c.call(node, wire.SegWrite{Owner: f.owner, Seg: j.ref.ID, Offset: j.piece.Off, Data: j.data})
-		if err != nil {
-			return 0, err
+		groups[gi] = append(groups[gi], j)
+	}
+	err = fanout(len(groups), f.c.parallelism(), func(gi int) error {
+		for _, j := range groups[gi] {
+			node, err := f.ensureShadow(j.ref, j.piece.SegIdx)
+			if err != nil {
+				return err
+			}
+			resp, err := f.c.call(node, wire.SegWrite{Owner: f.owner, Seg: j.ref.ID, Offset: j.piece.Off, Data: j.data})
+			if err != nil {
+				return err
+			}
+			if r, ok := resp.(wire.SegWriteResp); !ok || !r.OK {
+				return fmt.Errorf("core: write %s on %s: %s", j.ref.ID.Short(), node, r.Err)
+			}
 		}
-		if r, ok := resp.(wire.SegWriteResp); !ok || !r.OK {
-			return 0, fmt.Errorf("core: write %s on %s: %s", j.ref.ID.Short(), node, r.Err)
-		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return len(p), nil
 }
 
 // ensureShadow opens (once) the shadow for a data segment, creating the
-// segment on a freshly placed provider when it is new.
+// segment on a freshly placed provider when it is new. Concurrent callers
+// for the same segment coalesce on a singleflight channel so exactly one
+// SegShadow RPC is issued per segment per session.
 func (f *File) ensureShadow(ref layout.SegRef, segIdx int) (wire.NodeID, error) {
-	f.mu.Lock()
-	if d, ok := f.dirty[ref.ID]; ok {
+	for {
+		f.mu.Lock()
+		if d, ok := f.dirty[ref.ID]; ok {
+			f.mu.Unlock()
+			return d.node, nil
+		}
+		ch, busy := f.inflight[ref.ID]
+		if !busy {
+			ch = make(chan struct{})
+			f.inflight[ref.ID] = ch
+		}
 		f.mu.Unlock()
-		return d.node, nil
+		if busy {
+			<-ch // another goroutine is opening this shadow; wait and re-check
+			continue
+		}
+		node, err := f.openShadow(ref, segIdx)
+		f.mu.Lock()
+		if err == nil {
+			f.dirty[ref.ID] = &dirtySeg{node: node, isNew: ref.Version == 0, renewedAt: f.c.clock.Now()}
+		}
+		delete(f.inflight, ref.ID)
+		f.mu.Unlock()
+		close(ch)
+		return node, err
 	}
-	isNew := ref.Version == 0
-	f.mu.Unlock()
+}
 
+// openShadow places (for new segments) and opens a shadow copy, returning
+// the provider holding it.
+func (f *File) openShadow(ref layout.SegRef, segIdx int) (wire.NodeID, error) {
+	isNew := ref.Version == 0
 	var node wire.NodeID
 	if isNew {
 		// Potential maximum size per the sizing scheme (paper footnote 2).
@@ -521,9 +592,6 @@ func (f *File) ensureShadow(ref layout.SegRef, segIdx int) (wire.NodeID, error) 
 	if r, ok := resp.(wire.SegShadowResp); !ok || !r.OK {
 		return "", fmt.Errorf("core: shadow %s on %s: %s", ref.ID.Short(), node, r.Err)
 	}
-	f.mu.Lock()
-	f.dirty[ref.ID] = &dirtySeg{node: node, isNew: isNew, renewedAt: f.c.clock.Now()}
-	f.mu.Unlock()
 	return node, nil
 }
 
@@ -547,9 +615,13 @@ func (f *File) renewStaleShadows() {
 		}
 	}
 	f.mu.Unlock()
-	for _, r := range due {
+	// Renewals are independent control messages; push them out in parallel
+	// so a wide session doesn't pay one round-trip per shadow.
+	fanout(len(due), f.c.parallelism(), func(i int) error {
+		r := due[i]
 		f.c.call(r.node, wire.SegRenew{Owner: f.owner, Seg: r.seg, TTLSec: f.c.cfg.ShadowTTL.Seconds()})
-	}
+		return nil
+	})
 }
 
 func (f *File) segOwners(seg ids.SegID) ([]wire.OwnerInfo, error) {

@@ -105,7 +105,15 @@ func (m *Manager) evictLoop() {
 }
 
 func (m *Manager) evictStale() {
-	deadline := m.clock.Now() - time.Duration(m.cfg.FailureFactor)*m.cfg.HeartbeatInterval
+	// At heavy time compression the modeled silence window (5 heartbeats)
+	// shrinks below real goroutine scheduling noise — especially under the
+	// race detector — and live nodes flap as dead. Floor the window at a
+	// few wall milliseconds so departures only reflect modeled silence.
+	window := time.Duration(m.cfg.FailureFactor) * m.cfg.HeartbeatInterval
+	if floor := m.clock.Modeled(50 * time.Millisecond); floor > window {
+		window = floor
+	}
+	deadline := m.clock.Now() - window
 	var departed []wire.NodeID
 	m.mu.Lock()
 	for id, mb := range m.live {

@@ -41,7 +41,11 @@ func (st *Store) FetchDelta(seg ids.SegID, haveVer uint64) (ranges []DeltaRange,
 		union = append(union, ch...)
 	}
 	if !complete {
-		out := append([]byte(nil), latest...)
+		// Zero-copy like Read/Fetch: latest is immutable unless direct.
+		out := latest[:len(latest):len(latest)]
+		if s.direct {
+			out = append([]byte(nil), latest...)
+		}
 		st.mu.Unlock()
 		st.chargeRead(int64(len(out)))
 		return nil, newSize, ver, replDeg, locThresh, out, nil
@@ -56,7 +60,9 @@ func (st *Store) FetchDelta(seg ids.SegID, haveVer uint64) (ranges []DeltaRange,
 		if hi > newSize {
 			hi = newSize
 		}
-		ranges = append(ranges, DeltaRange{Off: lo, Data: append([]byte(nil), latest[lo:hi]...)})
+		// Delta ranges only exist for versioned (immutable) segments, so
+		// they alias the latest version safely.
+		ranges = append(ranges, DeltaRange{Off: lo, Data: latest[lo:hi:hi]})
 		total += hi - lo
 	}
 	st.mu.Unlock()

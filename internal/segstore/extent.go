@@ -22,12 +22,15 @@ type extentMap struct {
 }
 
 // write inserts data at off, replacing any overlapped ranges. It returns
-// the number of newly covered bytes (for space accounting).
+// the number of newly covered bytes (for space accounting). The payload is
+// copied into a pooled buffer, so the caller's data (typically a wire
+// message) is never retained.
 func (m *extentMap) write(off int64, data []byte) int64 {
 	if len(data) == 0 {
 		return 0
 	}
-	newExt := extent{off: off, data: append([]byte(nil), data...)}
+	newExt := extent{off: off, data: poolGet(len(data))}
+	copy(newExt.data, data)
 	covered := m.coveredWithin(off, newExt.end())
 	out := m.exts[:0:0]
 	for _, e := range m.exts {
@@ -35,14 +38,23 @@ func (m *extentMap) write(off int64, data []byte) int64 {
 		case e.end() <= newExt.off || e.off >= newExt.end():
 			out = append(out, e)
 		default:
-			// Overlap: keep the non-overlapped head and/or tail.
+			// Overlap: keep the non-overlapped head and/or tail. The head
+			// stays an array-prefix subslice of e's buffer (inheriting its
+			// pool ownership); the tail would alias the middle of the same
+			// array, so it moves into its own pooled buffer.
+			headKept := false
 			if e.off < newExt.off {
-				head := e.data[:newExt.off-e.off]
-				out = append(out, extent{off: e.off, data: head})
+				out = append(out, extent{off: e.off, data: e.data[:newExt.off-e.off]})
+				headKept = true
 			}
 			if e.end() > newExt.end() {
-				tail := e.data[newExt.end()-e.off:]
-				out = append(out, extent{off: newExt.end(), data: tail})
+				src := e.data[newExt.end()-e.off:]
+				tail := extent{off: newExt.end(), data: poolGet(len(src))}
+				copy(tail.data, src)
+				out = append(out, tail)
+			}
+			if !headKept {
+				poolPut(e.data)
 			}
 		}
 	}
@@ -52,7 +64,8 @@ func (m *extentMap) write(off int64, data []byte) int64 {
 	return int64(len(data)) - covered
 }
 
-// coalesce merges adjacent extents to bound the index size.
+// coalesce merges adjacent extents to bound the index size, recycling the
+// buffers the merge empties.
 func (m *extentMap) coalesce(exts []extent) []extent {
 	if len(exts) < 2 {
 		return exts
@@ -61,7 +74,16 @@ func (m *extentMap) coalesce(exts []extent) []extent {
 	for _, e := range exts[1:] {
 		last := &out[len(out)-1]
 		if last.end() == e.off {
-			last.data = append(last.data, e.data...)
+			if len(last.data)+len(e.data) <= cap(last.data) {
+				last.data = append(last.data, e.data...)
+			} else {
+				merged := poolGet(len(last.data) + len(e.data))
+				copy(merged, last.data)
+				copy(merged[len(last.data):], e.data)
+				poolPut(last.data)
+				last.data = merged
+			}
+			poolPut(e.data)
 		} else {
 			out = append(out, e)
 		}
@@ -137,6 +159,7 @@ func (m *extentMap) truncate(size int64) int64 {
 			out = append(out, e)
 		case e.off >= size:
 			released += int64(len(e.data))
+			poolPut(e.data)
 		default:
 			released += e.end() - size
 			e.data = e.data[:size-e.off]
@@ -145,6 +168,16 @@ func (m *extentMap) truncate(size int64) int64 {
 	}
 	m.exts = out
 	return released
+}
+
+// release recycles every extent buffer and empties the map. Callers must
+// ensure nothing aliases the extents — committed versions and read
+// responses are always copies, so a shadow's death is a safe point.
+func (m *extentMap) release() {
+	for _, e := range m.exts {
+		poolPut(e.data)
+	}
+	m.exts = nil
 }
 
 // writtenBytes returns the total bytes the shadow has materialized.

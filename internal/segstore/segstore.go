@@ -357,6 +357,7 @@ func (st *Store) dropShadowLocked(s *segment, owner string, sh *shadow) {
 		s.commitOwner = ""
 	}
 	st.disk.Free(sh.ext.writtenBytes())
+	sh.ext.release()
 	delete(s.shadows, owner)
 	// A brand-new segment whose only shadow is dropped disappears.
 	if s.latest == 0 && len(s.shadows) == 0 {
@@ -432,6 +433,7 @@ func (st *Store) CommitPrepared(owner string, seg ids.SegID) (ver uint64, size i
 	s.changes[sh.planned] = mergeRanges(ch)
 	s.latest = sh.planned
 	s.commitOwner = ""
+	sh.ext.release() // the version buffer is a copy; the extents are dead
 	delete(s.shadows, owner)
 	st.consolidateLocked(s)
 	s.lastAccess = st.clock.Now()
@@ -507,7 +509,18 @@ func (st *Store) Read(seg ids.SegID, ver uint64, off, n int64) ([]byte, uint64, 
 	if off+n > int64(len(data)) {
 		n = int64(len(data)) - off
 	}
-	out := append([]byte(nil), data[off:off+n]...)
+	// Committed versions of versioned segments are immutable once built
+	// (CommitPrepared, Install and ApplyDelta all create fresh buffers), so
+	// the response aliases the stored bytes instead of copying them —
+	// receivers must not mutate message payloads (wire convention). Direct
+	// segments are the exception: WriteDirect patches the version in place,
+	// so they serve copies.
+	var out []byte
+	if s.direct {
+		out = append([]byte(nil), data[off:off+n]...)
+	} else {
+		out = data[off : off+n : off+n]
+	}
 	s.lastAccess = st.clock.Now()
 	st.mu.Unlock()
 	st.chargeRead(n)
@@ -531,7 +544,11 @@ func (st *Store) Fetch(seg ids.SegID, ver uint64) (data []byte, v uint64, replDe
 		st.mu.Unlock()
 		return nil, 0, 0, 0, ErrNoVersion
 	}
-	out := append([]byte(nil), d...)
+	// Same zero-copy rule as Read: immutable unless the segment is direct.
+	out := d[:len(d):len(d)]
+	if s.direct {
+		out = append([]byte(nil), d...)
+	}
 	replDeg, locThresh = s.replDeg, s.localityThreshold
 	st.mu.Unlock()
 	st.chargeRead(int64(len(out)))
@@ -586,6 +603,7 @@ func (st *Store) Delete(seg ids.SegID) error {
 	}
 	for _, sh := range s.shadows {
 		freed += sh.ext.writtenBytes()
+		sh.ext.release()
 	}
 	st.disk.Free(freed)
 	delete(st.segs, seg)

@@ -4,8 +4,11 @@
 // message types are plain data (gob-encodable) so the same protocol code
 // runs over the in-process simulated fabric and the real TCP transport.
 //
-// By convention messages are immutable once sent; senders must not retain
-// and mutate payload buffers.
+// By convention messages are immutable once sent: senders must not retain
+// and mutate payload buffers, and receivers must treat payloads (e.g.
+// SegReadResp.Data) as read-only — over the in-process fabric a response
+// may alias the provider's committed segment bytes, so a receiver that
+// needs a private mutable copy must make one.
 package wire
 
 import (
