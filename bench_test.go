@@ -18,6 +18,8 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/simtime"
 	"repro/internal/wire"
 )
 
@@ -96,20 +98,25 @@ const (
 
 type stripedBenchCase struct {
 	name   string
-	stripe int // StripeCount of the file layout
-	maxPar int // core.Config.MaxParallelIO (0 = default)
+	stripe int  // StripeCount of the file layout
+	maxPar int  // core.Config.MaxParallelIO (0 = default)
+	obs    bool // attach a live metrics/tracing registry
 }
 
 var stripedBenchCases = []stripedBenchCase{
-	{"w1", 1, 0},
-	{"w4", 4, 0},
-	{"w8", 8, 0},
-	{"w8-seq", 8, 1},
+	{name: "w1", stripe: 1},
+	{name: "w4", stripe: 4},
+	{name: "w8", stripe: 8},
+	{name: "w8-seq", stripe: 8, maxPar: 1},
 }
 
-func newStripedBenchCluster(b *testing.B, maxPar int) (*cluster.Cluster, *core.Client) {
+func newStripedBenchCluster(b *testing.B, maxPar int, withObs bool) (*cluster.Cluster, *core.Client) {
 	b.Helper()
-	c, err := cluster.New(cluster.Options{Providers: 8, Scale: 0.01})
+	opts := cluster.Options{Providers: 8, Scale: 0.01}
+	if withObs {
+		opts.Obs = obs.New(simtime.Real())
+	}
+	c, err := cluster.New(opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -148,11 +155,14 @@ func stripedBenchAttrs(stripe int) wire.FileAttrs {
 }
 
 // BenchmarkParallelStripedRead reads a committed striped file end to end and
-// reports the modeled bandwidth per stripe width.
+// reports the modeled bandwidth per stripe width. The "-obs" cases run the
+// identical workload with the full metrics/tracing registry attached, so the
+// instrumentation overhead is directly visible in the wall ns/op delta.
 func BenchmarkParallelStripedRead(b *testing.B) {
-	for _, tc := range stripedBenchCases {
+	cases := append(stripedBenchCases, stripedBenchCase{"w8-obs", 8, 0, true})
+	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
-			c, cl := newStripedBenchCluster(b, tc.maxPar)
+			c, cl := newStripedBenchCluster(b, tc.maxPar, tc.obs)
 			f, err := cl.Create("/bench", stripedBenchAttrs(tc.stripe))
 			if err != nil {
 				b.Fatal(err)
@@ -192,9 +202,10 @@ func BenchmarkParallelStripedRead(b *testing.B) {
 // BenchmarkParallelStripedWrite creates, writes and commits a striped file
 // per iteration (write fan-out plus the parallel 2PC commit round).
 func BenchmarkParallelStripedWrite(b *testing.B) {
-	for _, tc := range stripedBenchCases {
+	cases := append(stripedBenchCases, stripedBenchCase{"w8-obs", 8, 0, true})
+	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
-			c, cl := newStripedBenchCluster(b, tc.maxPar)
+			c, cl := newStripedBenchCluster(b, tc.maxPar, tc.obs)
 			data := make([]byte, stripedBenchSize)
 			for i := range data {
 				data[i] = byte(i)

@@ -6,6 +6,9 @@
 // Usage:
 //
 //	namespaced -listen :7000 -data /var/lib/sorrento-ns
+//
+// Metrics (per-op latencies, commit conflicts) and recent traces are served
+// over HTTP on -metrics (default :9320).
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"syscall"
 
 	"repro/internal/namespace"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -26,6 +30,8 @@ func main() {
 	listen := flag.String("listen", ":7000", "TCP address to listen on")
 	advertise := flag.String("advertise", "", "address peers use to reach this server (default: listen address)")
 	data := flag.String("data", "sorrento-ns", "directory for the WAL and checkpoints")
+	metrics := flag.String("metrics", ":9320", "HTTP address for /metrics, /metrics.json and /debug/trace")
+	obsOn := flag.Bool("obs", true, "collect metrics and traces (off = zero observability overhead)")
 	flag.Parse()
 
 	wal, err := namespace.NewFileWAL(*data)
@@ -34,16 +40,28 @@ func main() {
 	}
 	defer wal.Close()
 
-	srv, err := namespace.NewServer(simtime.Real(), namespace.Config{}, wal)
+	clock := simtime.Real()
+	srv, err := namespace.NewServer(clock, namespace.Config{}, wal)
 	if err != nil {
 		log.Fatalf("namespaced: %v", err)
 	}
-	node, err := transport.ListenTCP(*listen, *advertise, nil, nsHandler{srv})
+	var o *obs.Obs
+	if *obsOn {
+		o = obs.New(clock)
+		srv.Instrument(o)
+	}
+	node, err := transport.ListenTCPObs(*listen, *advertise, nil, nsHandler{srv}, o)
 	if err != nil {
 		log.Fatalf("namespaced: %v", err)
 	}
 	defer node.Close()
 	log.Printf("namespaced: serving volume namespace on %s (data in %s)", node.ID(), *data)
+
+	if o != nil && *metrics != "" {
+		msrv := o.ServeMetrics(*metrics, func(err error) { log.Printf("namespaced: metrics server: %v", err) })
+		defer msrv.Close()
+		log.Printf("namespaced: metrics on http://%s/metrics", *metrics)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

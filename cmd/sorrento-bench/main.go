@@ -15,15 +15,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
+	"repro/internal/simtime"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|all")
 	quick := flag.Bool("quick", false, "reduced parameters (faster, noisier)")
+	obsOn := flag.Bool("obs", true, "instrument each run and write a metrics snapshot")
+	metricsOut := flag.String("metrics-out", ".", "directory for per-run <exp>-metrics.{json,prom} snapshots (empty disables)")
+	maxPar := flag.Int("maxparallel", 0, "override clients' MaxParallelIO fan-out width (0 = default)")
 	flag.Parse()
+
+	bench.MaxParallelIO = *maxPar
 
 	runners := map[string]func(bool) error{
 		"fig9":      runFig9,
@@ -37,10 +45,27 @@ func main() {
 	}
 	order := []string{"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablations"}
 
+	runOne := func(name string, run func(bool) error) error {
+		if *obsOn {
+			// A fresh registry per experiment so snapshots don't bleed into
+			// each other. The wall clock only timestamps trace spans; every
+			// duration metric is measured on the run's modeled clock.
+			bench.Obs = obs.New(simtime.Real())
+		}
+		err := run(*quick)
+		if *obsOn && *metricsOut != "" && err == nil {
+			if derr := dumpMetrics(*metricsOut, name, bench.Obs); derr != nil {
+				fmt.Fprintf(os.Stderr, "%s: metrics snapshot: %v\n", name, derr)
+			}
+		}
+		bench.Obs = nil
+		return err
+	}
+
 	if *exp == "all" {
 		for _, name := range order {
 			fmt.Printf("=== %s ===\n", name)
-			if err := runners[name](*quick); err != nil {
+			if err := runOne(name, runners[name]); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 				os.Exit(1)
 			}
@@ -53,10 +78,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
-	if err := run(*quick); err != nil {
+	if err := runOne(*exp, run); err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", *exp, err)
 		os.Exit(1)
 	}
+}
+
+// dumpMetrics writes the run's metrics snapshot next to the figure output,
+// in both JSON (metrics + spans) and Prometheus text form.
+func dumpMetrics(dir, name string, o *obs.Obs) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	jf, err := os.Create(filepath.Join(dir, name+"-metrics.json"))
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteJSON(jf, o.Reg(), o.Tr()); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	pf, err := os.Create(filepath.Join(dir, name+"-metrics.prom"))
+	if err != nil {
+		return err
+	}
+	if err := obs.WritePrometheus(pf, o.Reg()); err != nil {
+		pf.Close()
+		return err
+	}
+	return pf.Close()
 }
 
 func runFig9(quick bool) error {

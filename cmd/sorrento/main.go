@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -31,6 +32,7 @@ func main() {
 	seeds := flag.String("seeds", "", "comma-separated provider addresses (membership bootstrap)")
 	repl := flag.Int("repl", 1, "replication degree for created files")
 	alpha := flag.Float64("alpha", 0.5, "placement favoritism α for created files")
+	maxPar := flag.Int("maxparallel", 0, "max concurrent piece RPCs per call (0 = default)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
@@ -41,9 +43,14 @@ func main() {
 	if *seeds != "" {
 		seedList = strings.Split(*seeds, ",")
 	}
-	network := &transport.TCPNetwork{Bind: "127.0.0.1:0", Seeds: seedList}
+	// Instrument the client so its commits open trace roots that propagate
+	// to the daemons' /debug/trace endpoints.
+	o := obs.New(simtime.Real())
+	network := &transport.TCPNetwork{Bind: "127.0.0.1:0", Seeds: seedList, Obs: o}
 	client, err := core.NewClient("127.0.0.1:0", simtime.Real(), network, core.Config{
-		Namespace: wire.NodeID(*ns),
+		Namespace:     wire.NodeID(*ns),
+		MaxParallelIO: *maxPar,
+		Obs:           o,
 	})
 	if err != nil {
 		log.Fatalf("sorrento: %v", err)

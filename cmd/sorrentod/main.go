@@ -9,6 +9,11 @@
 //	sorrentod -listen 127.0.0.1:7001 -capacity 1073741824 &
 //	sorrentod -listen 127.0.0.1:7002 -capacity 1073741824 -seeds 127.0.0.1:7001 &
 //	sorrento -ns 127.0.0.1:7000 -seeds 127.0.0.1:7001 put /hello ./README.md
+//
+// Each daemon also serves its metrics and recent traces over HTTP:
+//
+//	curl http://127.0.0.1:9321/metrics       # prometheus text
+//	curl http://127.0.0.1:9321/debug/trace   # recent spans, JSON
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"syscall"
 
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/provider"
 	"repro/internal/simtime"
 	"repro/internal/transport"
@@ -31,6 +37,8 @@ func main() {
 	advertise := flag.String("advertise", "", "address peers use to reach this provider (default: listen address)")
 	seeds := flag.String("seeds", "", "comma-separated peer addresses for heartbeat fan-out")
 	capacity := flag.Int64("capacity", 8<<30, "exported storage capacity in bytes")
+	metrics := flag.String("metrics", ":9321", "HTTP address for /metrics, /metrics.json and /debug/trace")
+	obsOn := flag.Bool("obs", true, "collect metrics and traces (off = zero observability overhead)")
 	flag.Parse()
 
 	clock := simtime.Real()
@@ -44,9 +52,16 @@ func main() {
 		adv = *listen
 	}
 
+	var o *obs.Obs
+	if *obsOn {
+		o = obs.New(clock)
+		network.Obs = o
+	}
+
 	d := disk.New(clock, adv, disk.SCSI10K(), *capacity)
 	cfg := provider.DefaultConfig()
 	cfg.OpCost = provider.NoOpCost // a real daemon pays its real execution time
+	cfg.Obs = o
 	p, err := provider.New(wire.NodeID(adv), clock, cfg, network, d)
 	if err != nil {
 		log.Fatalf("sorrentod: %v", err)
@@ -54,6 +69,17 @@ func main() {
 	p.Start()
 	defer p.Stop()
 	log.Printf("sorrentod: provider %s exporting %d bytes", p.ID(), *capacity)
+
+	if o != nil && *metrics != "" {
+		// Pre-register the hot RPC families so a freshly started daemon's
+		// /metrics already lists them at zero.
+		if node, ok := p.Endpoint().(*transport.TCPNode); ok {
+			node.WarmRPC(wire.SegRead{}, wire.SegWrite{}, wire.Prepare2PC{}, wire.Commit2PC{}, wire.Heartbeat{})
+		}
+		srv := o.ServeMetrics(*metrics, func(err error) { log.Printf("sorrentod: metrics server: %v", err) })
+		defer srv.Close()
+		log.Printf("sorrentod: metrics on http://%s/metrics", *metrics)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -28,6 +28,7 @@ import (
 	"repro/internal/fsapi"
 	"repro/internal/layout"
 	"repro/internal/membership"
+	"repro/internal/obs"
 	"repro/internal/provider"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
@@ -86,6 +87,16 @@ func (s Scale) DiskModel() disk.Model {
 // Sizing returns the segment sizing formula scaled to the data factor.
 func (s Scale) Sizing() layout.Sizing { return layout.ScaledSizing(s.Data) }
 
+// Obs, when non-nil, instruments every Sorrento deployment the harness
+// builds (unless the experiment passes its own SorrentoOptions.Obs).
+// cmd/sorrento-bench points it at a fresh registry per experiment so each
+// run's metrics snapshot lands next to the figure output.
+var Obs *obs.Obs
+
+// MaxParallelIO, when positive, overrides core.Config.MaxParallelIO for
+// every client the harness attaches (cmd/sorrento-bench -maxparallel).
+var MaxParallelIO int
+
 // SorrentoEnv is a Sorrento deployment ready for an experiment.
 type SorrentoEnv struct {
 	Scale   Scale
@@ -106,6 +117,8 @@ type SorrentoOptions struct {
 	// from the scale). Experiments sensitive to the segment-to-file ratio
 	// set it so that ratio matches the paper despite the scaled sizes.
 	Sizing layout.Sizing
+	// Obs instruments the deployment (nil = the package-level Obs).
+	Obs *obs.Obs
 }
 
 // NewSorrento builds Sorrento-(n, r) under the given scale.
@@ -127,6 +140,9 @@ func NewSorrento(scale Scale, opts SorrentoOptions) (*SorrentoEnv, error) {
 	if sizing.Unit == 0 {
 		sizing = scale.Sizing()
 	}
+	if opts.Obs == nil {
+		opts.Obs = Obs
+	}
 	c, err := cluster.New(cluster.Options{
 		Providers:    opts.Providers,
 		Scale:        scale.Time,
@@ -136,6 +152,7 @@ func NewSorrento(scale Scale, opts SorrentoOptions) (*SorrentoEnv, error) {
 		Provider:     opts.Provider,
 		Sizing:       sizing,
 		Heartbeat:    opts.Heartbeat,
+		Obs:          opts.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -162,7 +179,7 @@ func (e *SorrentoEnv) Clock() *simtime.Clock { return e.Cluster.Clock }
 func (e *SorrentoEnv) NewFS(attrs wire.FileAttrs) (fsapi.System, error) {
 	e.nclient++
 	name := fmt.Sprintf("bc%03d", e.nclient)
-	cl, err := e.Cluster.NewClient(name)
+	cl, err := e.Cluster.NewClientCfg(name, clientOverrides)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +200,7 @@ func (e *SorrentoEnv) NewFS(attrs wire.FileAttrs) (fsapi.System, error) {
 func (e *SorrentoEnv) NewFSAt(host wire.NodeID, attrs wire.FileAttrs) (fsapi.System, *core.Client, error) {
 	e.nclient++
 	name := fmt.Sprintf("bc%03d", e.nclient)
-	cl, err := e.Cluster.NewClientAt(name, host)
+	cl, err := e.Cluster.NewClientAtCfg(name, host, clientOverrides)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -195,6 +212,13 @@ func (e *SorrentoEnv) NewFSAt(host wire.NodeID, attrs wire.FileAttrs) (fsapi.Sys
 	}
 	label := fmt.Sprintf("sorrento-(%d,%d)", len(e.Cluster.Providers()), attrs.ReplDeg)
 	return core.NewFS(cl, attrs, label), cl, nil
+}
+
+// clientOverrides applies the package-level client knobs.
+func clientOverrides(cfg *core.Config) {
+	if MaxParallelIO > 0 {
+		cfg.MaxParallelIO = MaxParallelIO
+	}
 }
 
 // Close stops the deployment.

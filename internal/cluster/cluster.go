@@ -14,6 +14,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/layout"
 	"repro/internal/namespace"
+	"repro/internal/obs"
 	"repro/internal/provider"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
@@ -44,6 +45,9 @@ type Options struct {
 	Sizing layout.Sizing
 	// Heartbeat overrides the membership heartbeat interval for all nodes.
 	Heartbeat time.Duration
+	// Obs instruments the whole deployment (fabric NICs, providers,
+	// namespace server, clients) into one registry. Nil disables it.
+	Obs *obs.Obs
 }
 
 func (o Options) withDefaults() Options {
@@ -92,9 +96,15 @@ func New(opts Options) (*Cluster, error) {
 	opts = opts.withDefaults()
 	clock := simtime.NewClock(opts.Scale)
 	fabric := simnet.New(clock, opts.Net)
+	if opts.Obs != nil {
+		fabric.Instrument(opts.Obs)
+	}
 	ns, err := namespace.NewServer(clock, opts.Namespace, nil)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Obs != nil {
+		ns.Instrument(opts.Obs)
 	}
 	if _, err := fabric.Join(NamespaceNode, nsHandler{ns}); err != nil {
 		return nil, err
@@ -130,6 +140,7 @@ func (c *Cluster) AddProviderCfg(id wire.NodeID, mutate func(*provider.Config)) 
 	}
 	cfg := c.opts.Provider
 	cfg.Seed = int64(len(c.providers) + 1)
+	cfg.Obs = c.opts.Obs
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -185,6 +196,11 @@ func (c *Cluster) NewClientCfg(name string, mutate func(*core.Config)) (*core.Cl
 	return c.newClientCfg(name, "", mutate)
 }
 
+// NewClientAtCfg attaches a co-located client with a configuration tweak.
+func (c *Cluster) NewClientAtCfg(name string, host wire.NodeID, mutate func(*core.Config)) (*core.Client, error) {
+	return c.newClientCfg(name, host, mutate)
+}
+
 func (c *Cluster) newClient(name string, host wire.NodeID) (*core.Client, error) {
 	return c.newClientCfg(name, host, nil)
 }
@@ -196,6 +212,7 @@ func (c *Cluster) newClientCfg(name string, host wire.NodeID, mutate func(*core.
 		Sizing:     c.opts.Sizing,
 		Membership: c.opts.Provider.Membership,
 		Seed:       int64(len(c.clients) + 101),
+		Obs:        c.opts.Obs,
 	}
 	// At heavy time compression, a "5 modeled minutes" shadow lease is only
 	// milliseconds of wall time — shorter than real scheduling noise. Floor

@@ -22,6 +22,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/layout"
 	"repro/internal/membership"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/simtime"
 	"repro/internal/transport"
@@ -72,6 +73,11 @@ type Config struct {
 	// default (8) matches the paper's stripe width across an 8-provider
 	// group; 1 restores strictly sequential piece I/O.
 	MaxParallelIO int
+	// Obs enables client-side observability: commit latency/conflict
+	// metrics, location-probe counts, heartbeat-gap tracking, and a root
+	// span per commit so the transport's RPC spans attach under it. Nil
+	// disables all of it.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +114,12 @@ type Client struct {
 	sessSeq  atomic.Uint64
 	nonceSeq atomic.Uint64
 
+	// Metric handles, resolved once at construction (nil handles no-op).
+	commitLat       *obs.Histogram
+	commitsOK       *obs.Counter
+	commitConflicts *obs.Counter
+	probesSent      *obs.Counter
+
 	mu     sync.Mutex
 	probes map[uint64]chan wire.LocProbeResp
 }
@@ -126,6 +138,14 @@ func NewClient(name string, clock *simtime.Clock, network transport.Network, cfg
 		members: membership.NewManager(clock, cfg.Membership),
 		sel:     placement.NewSelector(cfg.Seed),
 		probes:  make(map[uint64]chan wire.LocProbeResp),
+	}
+	if reg := cfg.Obs.Reg(); reg != nil {
+		node := obs.L("node", name)
+		c.commitLat = reg.Histogram("sorrento_client_commit_seconds", nil, node)
+		c.commitsOK = reg.Counter("sorrento_client_commits_total", node)
+		c.commitConflicts = reg.Counter("sorrento_client_commit_conflicts_total", node)
+		c.probesSent = reg.Counter("sorrento_client_probes_total", node)
+		c.members.Instrument(reg, name)
 	}
 	var (
 		ep  transport.Endpoint
@@ -180,12 +200,22 @@ func (h clientHandler) HandleCast(_ wire.NodeID, msg any) {
 
 // call performs one RPC with the configured timeout.
 func (c *Client) call(to wire.NodeID, req any) (any, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+	return c.callCtx(context.Background(), to, req)
+}
+
+// callCtx is call with a caller context, so operations that open a span
+// (Commit) propagate it into the transport's per-RPC tracing.
+func (c *Client) callCtx(ctx context.Context, to wire.NodeID, req any) (any, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 	defer cancel()
 	return c.ep.Call(ctx, to, req)
 }
 
 func (c *Client) ns(req any) (any, error) { return c.call(c.cfg.Namespace, req) }
+
+func (c *Client) nsCtx(ctx context.Context, req any) (any, error) {
+	return c.callCtx(ctx, c.cfg.Namespace, req)
+}
 
 // parallelism is the fan-out width for piece-level RPCs.
 func (c *Client) parallelism() int { return c.cfg.MaxParallelIO }
@@ -376,6 +406,7 @@ func (c *Client) probe(seg ids.SegID) ([]wire.OwnerInfo, error) {
 		delete(c.probes, nonce)
 		c.mu.Unlock()
 	}()
+	c.probesSent.Inc()
 	c.ep.Multicast(wire.LocProbe{Seg: seg, Asker: c.ep.ID(), Nonce: nonce})
 	// At compressed time scales the modeled timeout can shrink below real
 	// scheduling noise; floor it at ~50 ms of wall time.

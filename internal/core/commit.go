@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -54,16 +55,35 @@ func (f *File) Commit(opts CommitOptions) error {
 	touched = append(touched, f.entry.FileID)
 	f.mu.Unlock()
 
+	// The commit protocol proper is what gets measured: a root span (every
+	// RPC below it becomes a child span in the transport) and a whole-commit
+	// latency histogram, with conflicts counted separately.
+	ctx, sp := f.c.cfg.Obs.Tr().Start(context.Background(), f.c.name, "commit")
+	start := f.c.clock.Now()
+	err := f.runCommit(ctx, opts, touched)
+	sp.SetError(err)
+	sp.End()
+	f.c.commitLat.ObserveDuration(f.c.clock.Now() - start)
+	switch {
+	case err == nil:
+		f.c.commitsOK.Inc()
+	case errors.Is(err, ErrConflict):
+		f.c.commitConflicts.Inc()
+	}
+	return err
+}
+
+func (f *File) runCommit(ctx context.Context, opts CommitOptions, touched []ids.SegID) error {
 	// (7) Ask the namespace server for commit approval.
-	begin, err := f.commitBegin()
+	begin, err := f.commitBegin(ctx)
 	if err != nil {
 		return err
 	}
 
-	if err := f.commitBody(begin); err != nil {
+	if err := f.commitBody(ctx, begin); err != nil {
 		// Roll everything back: prepared shadows and the commit window.
 		f.abortAll()
-		f.c.ns(wire.NSCommitAbort{FileID: f.entry.FileID, Path: f.path, Ticket: begin.Ticket})
+		f.c.nsCtx(ctx, wire.NSCommitAbort{FileID: f.entry.FileID, Path: f.path, Ticket: begin.Ticket})
 		return err
 	}
 	if opts.Sync {
@@ -72,9 +92,9 @@ func (f *File) Commit(opts CommitOptions) error {
 	return nil
 }
 
-func (f *File) commitBegin() (wire.NSCommitBeginResp, error) {
+func (f *File) commitBegin(ctx context.Context) (wire.NSCommitBeginResp, error) {
 	for {
-		resp, err := f.c.ns(wire.NSCommitBegin{FileID: f.entry.FileID, Path: f.path, BaseVer: f.baseVer})
+		resp, err := f.c.nsCtx(ctx, wire.NSCommitBegin{FileID: f.entry.FileID, Path: f.path, BaseVer: f.baseVer})
 		if err != nil {
 			return wire.NSCommitBeginResp{}, err
 		}
@@ -98,7 +118,7 @@ func (f *File) commitBegin() (wire.NSCommitBeginResp, error) {
 
 // commitBody runs steps (8)–(9): prepare data shadows, rewrite the index
 // shadow, prepare it, commit everything, and complete at the namespace.
-func (f *File) commitBody(begin wire.NSCommitBeginResp) error {
+func (f *File) commitBody(ctx context.Context, begin wire.NSCommitBeginResp) error {
 	// Group dirty data segments by their shadow's provider.
 	f.mu.Lock()
 	byNode := make(map[wire.NodeID][]ids.SegID)
@@ -119,7 +139,7 @@ func (f *File) commitBody(begin wire.NSCommitBeginResp) error {
 	prepared := make([]wire.Prepare2PCResp, len(nodes))
 	err := fanout(len(nodes), f.c.parallelism(), func(i int) error {
 		node := nodes[i]
-		resp, err := f.c.call(node, wire.Prepare2PC{Owner: f.owner, Segs: byNode[node]})
+		resp, err := f.c.callCtx(ctx, node, wire.Prepare2PC{Owner: f.owner, Segs: byNode[node]})
 		if err != nil {
 			return err
 		}
@@ -165,14 +185,14 @@ func (f *File) commitBody(begin wire.NSCommitBeginResp) error {
 	if err != nil {
 		return err
 	}
-	indexNode, err := f.writeIndexShadow(encoded)
+	indexNode, err := f.writeIndexShadow(ctx, encoded)
 	if err != nil {
 		return err
 	}
 
 	// Phase one on the index segment: its planned version is the file's
 	// next version.
-	resp, err := f.c.call(indexNode, wire.Prepare2PC{Owner: f.owner, Segs: []ids.SegID{f.entry.FileID}})
+	resp, err := f.c.callCtx(ctx, indexNode, wire.Prepare2PC{Owner: f.owner, Segs: []ids.SegID{f.entry.FileID}})
 	if err != nil {
 		return err
 	}
@@ -186,7 +206,7 @@ func (f *File) commitBody(begin wire.NSCommitBeginResp) error {
 	// segment last — its commit is what makes the new version reachable.
 	err = fanout(len(nodes), f.c.parallelism(), func(i int) error {
 		node := nodes[i]
-		resp, err := f.c.call(node, wire.Commit2PC{Owner: f.owner, Segs: byNode[node]})
+		resp, err := f.c.callCtx(ctx, node, wire.Commit2PC{Owner: f.owner, Segs: byNode[node]})
 		if err != nil {
 			return err
 		}
@@ -198,7 +218,7 @@ func (f *File) commitBody(begin wire.NSCommitBeginResp) error {
 	if err != nil {
 		return err
 	}
-	resp, err = f.c.call(indexNode, wire.Commit2PC{Owner: f.owner, Segs: []ids.SegID{f.entry.FileID}})
+	resp, err = f.c.callCtx(ctx, indexNode, wire.Commit2PC{Owner: f.owner, Segs: []ids.SegID{f.entry.FileID}})
 	if err != nil {
 		return err
 	}
@@ -207,7 +227,7 @@ func (f *File) commitBody(begin wire.NSCommitBeginResp) error {
 	}
 
 	// (9) Complete at the namespace server.
-	cresp, err := f.c.ns(wire.NSCommitComplete{
+	cresp, err := f.c.nsCtx(ctx, wire.NSCommitComplete{
 		FileID: f.entry.FileID, Path: f.path, NewVer: newVer,
 		Ticket: begin.Ticket, NewSize: size,
 	})
@@ -231,7 +251,7 @@ func (f *File) commitBody(begin wire.NSCommitBeginResp) error {
 
 // writeIndexShadow places (on first commit) or shadows the index segment
 // and rewrites its content.
-func (f *File) writeIndexShadow(encoded []byte) (wire.NodeID, error) {
+func (f *File) writeIndexShadow(ctx context.Context, encoded []byte) (wire.NodeID, error) {
 	fid := f.entry.FileID
 	f.mu.Lock()
 	d := f.dirty[fid]
@@ -256,7 +276,7 @@ func (f *File) writeIndexShadow(encoded []byte) (wire.NodeID, error) {
 			}
 			node = orderOwners(owners, f.c.ep.Host())[0].Node
 		}
-		resp, err := f.c.call(node, wire.SegShadow{
+		resp, err := f.c.callCtx(ctx, node, wire.SegShadow{
 			Owner:             f.owner,
 			Seg:               fid,
 			BaseVer:           0,
@@ -274,14 +294,14 @@ func (f *File) writeIndexShadow(encoded []byte) (wire.NodeID, error) {
 		f.dirty[fid] = &dirtySeg{node: node, isNew: f.baseVer == 0}
 		f.mu.Unlock()
 	}
-	resp, err := f.c.call(node, wire.SegWrite{Owner: f.owner, Seg: fid, Offset: 0, Data: encoded})
+	resp, err := f.c.callCtx(ctx, node, wire.SegWrite{Owner: f.owner, Seg: fid, Offset: 0, Data: encoded})
 	if err != nil {
 		return "", err
 	}
 	if r, ok := resp.(wire.SegWriteResp); !ok || !r.OK {
 		return "", fmt.Errorf("core: index write: %s", r.Err)
 	}
-	resp, err = f.c.call(node, wire.SegTruncate{Owner: f.owner, Seg: fid, Size: int64(len(encoded))})
+	resp, err = f.c.callCtx(ctx, node, wire.SegTruncate{Owner: f.owner, Seg: fid, Size: int64(len(encoded))})
 	if err != nil {
 		return "", err
 	}

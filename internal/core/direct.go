@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ids"
@@ -46,7 +47,7 @@ func (f *File) materializeDirect() error {
 
 	// Commit the index once (version 1) so other processes can open the
 	// file and find the segments.
-	begin, err := f.commitBegin()
+	begin, err := f.commitBegin(context.Background())
 	if err != nil {
 		return err
 	}
@@ -56,7 +57,7 @@ func (f *File) materializeDirect() error {
 	if eerr != nil {
 		return eerr
 	}
-	indexNode, err := f.writeIndexShadow(encoded)
+	indexNode, err := f.writeIndexShadow(context.Background(), encoded)
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/chash"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -51,6 +52,10 @@ type Manager struct {
 	clock *simtime.Clock
 	cfg   Config
 
+	// Metric handles (nil when uninstrumented; all methods no-op on nil).
+	hbGap     *obs.Histogram
+	evictions *obs.Counter
+
 	mu      sync.Mutex
 	live    map[wire.NodeID]*member
 	ring    *chash.Ring
@@ -74,6 +79,19 @@ func NewManager(clock *simtime.Clock, cfg Config) *Manager {
 		ring:  chash.New(nil),
 		stop:  make(chan struct{}),
 	}
+}
+
+// Instrument exports this observer's failure-detection signals: a histogram
+// of observed inter-heartbeat gaps (the raw input to the FailureFactor
+// window) and an eviction counter, both labeled with the observing node.
+// Call before Start — handles are written without locking.
+func (m *Manager) Instrument(reg *obs.Registry, node string) {
+	if reg == nil {
+		return
+	}
+	lbl := obs.L("node", node)
+	m.hbGap = reg.Histogram("sorrento_membership_heartbeat_gap_seconds", nil, lbl)
+	m.evictions = reg.Counter("sorrento_membership_evictions_total", lbl)
 }
 
 // Start launches the eviction loop. Stop it with Stop.
@@ -127,6 +145,7 @@ func (m *Manager) evictStale() {
 	}
 	subs := append([]func(Event){}, m.subs...)
 	m.mu.Unlock()
+	m.evictions.Add(int64(len(departed)))
 	for _, id := range departed {
 		for _, s := range subs {
 			s(Event{Node: id, Joined: false})
@@ -148,7 +167,11 @@ func (m *Manager) ObserveHeartbeat(hb wire.Heartbeat) {
 		mb.seq = hb.Seq
 		mb.load = hb.Load
 	}
-	mb.lastSeen = m.clock.Now()
+	now := m.clock.Now()
+	if known {
+		m.hbGap.Observe((now - mb.lastSeen).Seconds())
+	}
+	mb.lastSeen = now
 	subs := append([]func(Event){}, m.subs...)
 	m.mu.Unlock()
 	if !known {
@@ -170,6 +193,7 @@ func (m *Manager) MarkDead(id wire.NodeID) {
 	subs := append([]func(Event){}, m.subs...)
 	m.mu.Unlock()
 	if known {
+		m.evictions.Inc()
 		for _, s := range subs {
 			s(Event{Node: id, Joined: false})
 		}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/wire"
 )
@@ -72,6 +73,11 @@ type Server struct {
 	cpu   *simtime.Resource
 	wal   WAL
 
+	// Metric handles (nil when uninstrumented; no-ops on nil).
+	rec       *obs.RPCRecorder
+	conflicts *obs.Counter
+	blocked   *obs.Counter
+
 	mu         sync.Mutex
 	root       *dirNode
 	leases     map[string]lease
@@ -111,6 +117,21 @@ func NewServer(clock *simtime.Clock, cfg Config, wal WAL) (*Server, error) {
 
 // CPU exposes the server's CPU resource for load accounting.
 func (s *Server) CPU() *simtime.Resource { return s.cpu }
+
+// Instrument exports the server's observability surface: per-op latency and
+// message sizes as sorrento_rpc_server_* series under the logical node "ns",
+// the commit arbitration outcomes (update conflicts vs. commit-window
+// blocking, §3.5), and the server's CPU resource. Call before serving.
+func (s *Server) Instrument(o *obs.Obs) {
+	reg := o.Reg()
+	if reg == nil {
+		return
+	}
+	s.rec = obs.NewRPCRecorder(reg, "server", "ns")
+	s.conflicts = reg.Counter("sorrento_namespace_commit_conflicts_total", obs.L("kind", "conflict"))
+	s.blocked = reg.Counter("sorrento_namespace_commit_conflicts_total", obs.L("kind", "blocked"))
+	obs.RegisterResource(reg, s.clock, s.cpu)
+}
 
 func (s *Server) recover() error {
 	snapshot, ops, err := s.wal.Recover()
@@ -411,10 +432,12 @@ func (s *Server) CommitBegin(req wire.NSCommitBegin) wire.NSCommitBeginResp {
 	}
 	e := n.entry
 	if e.Version > req.BaseVer {
+		s.conflicts.Inc()
 		return wire.NSCommitBeginResp{Conflict: true, LatestVer: e.Version}
 	}
 	now := s.clock.Now()
 	if w, ok := s.commits[e.FileID]; ok && now < w.expiry {
+		s.blocked.Inc()
 		return wire.NSCommitBeginResp{Blocked: true, LatestVer: e.Version}
 	}
 	s.nextTicket++
@@ -486,8 +509,20 @@ func (s *Server) LeaseRelease(req wire.NSLeaseRelease) wire.NSGenericResp {
 }
 
 // Handle dispatches a wire message to the corresponding method — the
-// adapter both the simulated fabric and the TCP daemon use.
+// adapter both the simulated fabric and the TCP daemon use. When the server
+// is instrumented, each op's latency and estimated message sizes are
+// recorded under the logical node "ns".
 func (s *Server) Handle(req any) (any, error) {
+	if s.rec == nil {
+		return s.handle(req)
+	}
+	start := s.clock.Now()
+	resp, err := s.handle(req)
+	s.rec.Observe(req, wire.SizeOf(resp), wire.SizeOf(req), s.clock.Now()-start, err)
+	return resp, err
+}
+
+func (s *Server) handle(req any) (any, error) {
 	switch m := req.(type) {
 	case wire.NSLookup:
 		return s.Lookup(m.Path), nil

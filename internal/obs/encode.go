@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricSnapshot is one series frozen at snapshot time.
+type MetricSnapshot struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Counters and gauges use Value. Histograms use Count/Sum/Quantiles.
+	Value     float64            `json:"value,omitempty"`
+	Count     int64              `json:"count,omitempty"`
+	Sum       float64            `json:"sum,omitempty"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+}
+
+// Snapshot freezes every registered series, sorted by series key.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	var out []MetricSnapshot
+	r.each(func(_ string, m metric) {
+		snap := MetricSnapshot{Name: m.name(), Kind: m.kind()}
+		if lbl := m.labels(); len(lbl) > 0 {
+			snap.Labels = make(map[string]string, len(lbl))
+			for _, l := range lbl {
+				snap.Labels[l.Key] = l.Value
+			}
+		}
+		switch v := m.(type) {
+		case *Counter:
+			snap.Value = float64(v.Value())
+		case *Gauge:
+			snap.Value = v.Value()
+		case *funcGauge:
+			snap.Value = v.fn()
+		case *Histogram:
+			snap.Count = v.Count()
+			snap.Sum = v.Sum()
+			snap.Quantiles = map[string]float64{
+				"0.5":  v.Quantile(0.5),
+				"0.9":  v.Quantile(0.9),
+				"0.99": v.Quantile(0.99),
+			}
+		}
+		out = append(out, snap)
+	})
+	return out
+}
+
+// WriteJSON writes the snapshot (plus any trace spans) as indented JSON.
+func WriteJSON(w io.Writer, reg *Registry, tr *Tracer) error {
+	doc := struct {
+		Metrics []MetricSnapshot `json:"metrics"`
+		Spans   []SpanRecord     `json:"spans,omitempty"`
+	}{Metrics: reg.Snapshot(), Spans: tr.Spans()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// promLabels renders a sorted prometheus label set, with extra appended
+// (used for the histogram "le" label).
+func promLabels(lbl []Label, extra ...Label) string {
+	all := append(append([]Label(nil), lbl...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the prometheus text exposition
+// format (v0.0.4): one # TYPE line per metric family, histogram series
+// expanded into _bucket/_sum/_count.
+func WritePrometheus(w io.Writer, reg *Registry) error {
+	// Group series by family so each # TYPE line appears once, with all of
+	// the family's series contiguous (the format requires this).
+	type series struct {
+		key string
+		m   metric
+	}
+	families := map[string][]series{}
+	var names []string
+	reg.each(func(key string, m metric) {
+		if _, ok := families[m.name()]; !ok {
+			names = append(names, m.name())
+		}
+		families[m.name()] = append(families[m.name()], series{key, m})
+	})
+	sort.Strings(names)
+	for _, name := range names {
+		fam := families[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, fam[0].m.kind()); err != nil {
+			return err
+		}
+		for _, s := range fam {
+			switch v := s.m.(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s %d\n", name, promLabels(v.labels()), v.Value())
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s %s\n", name, promLabels(v.labels()), promFloat(v.Value()))
+			case *funcGauge:
+				fmt.Fprintf(w, "%s%s %s\n", name, promLabels(v.labels()), promFloat(v.fn()))
+			case *Histogram:
+				var cum int64
+				for i, bound := range v.bounds {
+					cum += v.counts[i].Load()
+					fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(v.labels(), L("le", promFloat(bound))), cum)
+				}
+				cum += v.counts[len(v.bounds)].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(v.labels(), L("le", "+Inf")), cum)
+				fmt.Fprintf(w, "%s_sum%s %s\n", name, promLabels(v.labels()), promFloat(v.Sum()))
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(v.labels()), v.Count()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns an http.Handler serving the observability endpoints:
+//
+//	/metrics       prometheus text exposition
+//	/metrics.json  JSON snapshot (metrics + recent spans)
+//	/debug/trace   recent completed spans as JSON, oldest first
+//
+// Mount it on its own listener (see cmd/sorrentod -metrics) so scrapes
+// never contend with the data path's accept loop.
+func (o *Obs) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, o.Reg())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, o.Reg(), o.Tr())
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(o.Tr().Spans())
+	})
+	return mux
+}
+
+// ServeMetrics starts an HTTP server for the obs endpoints on addr and
+// returns immediately; errors after startup are reported via errFn (may be
+// nil). Returns the server so callers can Close it.
+func (o *Obs) ServeMetrics(addr string, errFn func(error)) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: o.Handler()}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && errFn != nil {
+			errFn(err)
+		}
+	}()
+	return srv
+}

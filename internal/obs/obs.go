@@ -1,0 +1,356 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric dimension. Values land verbatim in label values, so
+// keep them low-cardinality (node IDs, message types — not segment IDs).
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Registry holds a process's metrics. The zero value is not usable;
+// construct with NewRegistry. A nil *Registry is valid and turns every
+// method into a cheap no-op returning nil handles (whose methods are also
+// no-ops) — that nil check is the obs on/off switch.
+type Registry struct {
+	metrics sync.Map // series key (name{k="v",...}) -> metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// metric is what the encoder iterates over.
+type metric interface {
+	name() string
+	labels() []Label
+	kind() string // "counter" | "gauge" | "histogram"
+}
+
+type meta struct {
+	nm  string
+	lbl []Label
+}
+
+func (m *meta) name() string    { return m.nm }
+func (m *meta) labels() []Label { return m.lbl }
+
+// seriesKey builds the canonical identity of a series: the name plus its
+// labels sorted by key. Called only on the registration (slow) path.
+func seriesKey(name string, labels []Label) (string, []Label) {
+	if len(labels) == 0 {
+		return name, nil
+	}
+	lbl := append([]Label(nil), labels...)
+	sort.Slice(lbl, func(i, j int) bool { return lbl[i].Key < lbl[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range lbl {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(l.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String(), lbl
+}
+
+// Counter is a monotonically increasing count. Updates are one atomic add.
+type Counter struct {
+	meta
+	v atomic.Int64
+}
+
+// Add increments the counter. No-op on a nil handle or negative delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil || delta <= 0 {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) kind() string { return "counter" }
+
+// Gauge is a settable instantaneous value, stored as atomic float64 bits.
+type Gauge struct {
+	meta
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value. No-op on nil.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by delta (CAS loop; gauges are not hot-path).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) kind() string { return "gauge" }
+
+// funcGauge evaluates a callback at snapshot time — used to export values
+// the owning subsystem already tracks (resource busy time, disk usage)
+// without a write on every change.
+type funcGauge struct {
+	meta
+	fn func() float64
+}
+
+func (g *funcGauge) kind() string { return "gauge" }
+
+// Histogram is a fixed-bucket distribution recorder. Observations are two
+// atomic adds plus a CAS-loop float add for the sum; bucket bounds are
+// immutable after construction. Percentiles are interpolated from the
+// cumulative bucket counts at snapshot time.
+type Histogram struct {
+	meta
+	bounds []float64      // upper bounds, ascending; implicit +Inf last
+	counts []atomic.Int64 // len(bounds)+1
+	n      atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe folds one sample into the distribution. No-op on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search beats linear scan only past ~30 buckets; our ladders
+	// are ~20 wide and latencies cluster low, so scan from the bottom.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile interpolates the q-th quantile (q in [0,1]) from the bucket
+// cumulative counts. Within a bucket it interpolates linearly from the
+// previous bound; the overflow bucket reports its lower bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	lower := 0.0
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			if i < len(h.bounds) {
+				lower = h.bounds[i]
+			}
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(h.bounds) { // overflow bucket: no upper bound
+				return lower
+			}
+			upper := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum += c
+		if i < len(h.bounds) {
+			lower = h.bounds[i]
+		}
+	}
+	return lower
+}
+
+func (h *Histogram) kind() string { return "histogram" }
+
+// LatencyBuckets is the default ladder for modeled-seconds histograms:
+// 100µs to ~100s, roughly ×2.5 per step.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// SizeBuckets is the default ladder for byte-size histograms: 256B to 1GB,
+// ×4 per step.
+var SizeBuckets = []float64{
+	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+	1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30,
+}
+
+// Counter returns (creating on first use) the counter for name+labels.
+// Returns nil on a nil registry. Safe for concurrent use; after the first
+// call for a series this is one sync.Map load.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	key, lbl := seriesKey(name, labels)
+	if m, ok := r.metrics.Load(key); ok {
+		c, _ := m.(*Counter)
+		return c
+	}
+	c := &Counter{meta: meta{nm: name, lbl: lbl}}
+	if prev, loaded := r.metrics.LoadOrStore(key, c); loaded {
+		c, _ := prev.(*Counter)
+		return c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key, lbl := seriesKey(name, labels)
+	if m, ok := r.metrics.Load(key); ok {
+		g, _ := m.(*Gauge)
+		return g
+	}
+	g := &Gauge{meta: meta{nm: name, lbl: lbl}}
+	if prev, loaded := r.metrics.LoadOrStore(key, g); loaded {
+		g, _ := prev.(*Gauge)
+		return g
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at snapshot
+// time. Re-registering the same series replaces the callback.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	if r == nil || fn == nil {
+		return
+	}
+	key, lbl := seriesKey(name, labels)
+	r.metrics.Store(key, &funcGauge{meta: meta{nm: name, lbl: lbl}, fn: fn})
+}
+
+// Histogram returns (creating on first use) the histogram for name+labels.
+// bounds must be ascending; nil means LatencyBuckets. Bounds are fixed at
+// first registration — later calls with different bounds get the original.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key, lbl := seriesKey(name, labels)
+	if m, ok := r.metrics.Load(key); ok {
+		h, _ := m.(*Histogram)
+		return h
+	}
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	h := &Histogram{
+		meta:   meta{nm: name, lbl: lbl},
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	if prev, loaded := r.metrics.LoadOrStore(key, h); loaded {
+		h, _ := prev.(*Histogram)
+		return h
+	}
+	return h
+}
+
+// each iterates the registered metrics in deterministic (series key) order.
+func (r *Registry) each(f func(key string, m metric)) {
+	if r == nil {
+		return
+	}
+	var keys []string
+	byKey := make(map[string]metric)
+	r.metrics.Range(func(k, v any) bool {
+		ks, _ := k.(string)
+		m, _ := v.(metric)
+		if m != nil {
+			keys = append(keys, ks)
+			byKey[ks] = m
+		}
+		return true
+	})
+	sort.Strings(keys)
+	for _, k := range keys {
+		f(k, byKey[k])
+	}
+}

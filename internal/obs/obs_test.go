@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	var o *Obs
+	var tr *Tracer
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	g := r.Gauge("y")
+	g.Set(1)
+	g.Add(2)
+	h := r.Histogram("z", nil)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	r.GaugeFunc("f", func() float64 { return 1 })
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	if o.Reg() != nil || o.Tr() != nil {
+		t.Fatal("nil Obs accessors must return nil")
+	}
+	ctx, sp := tr.Start(context.Background(), "n", "op")
+	if sp != nil || ctx != context.Background() {
+		t.Fatal("nil tracer Start must pass ctx through")
+	}
+	sp.SetError(errors.New("e"))
+	sp.End()
+	if s := tr.Spans(); s == nil || len(s) != 0 {
+		t.Fatalf("nil tracer Spans = %v, want empty non-nil (JSON renders [])", s)
+	}
+	var rec *RPCRecorder
+	rec.Observe(struct{}{}, 1, 1, time.Second, nil)
+	rec.ObserveCast(struct{}{}, 1)
+	rec.Warm(struct{}{})
+}
+
+func TestCounterGaugeIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits", L("node", "p0"), L("type", "read"))
+	b := r.Counter("hits", L("type", "read"), L("node", "p0")) // label order irrelevant
+	if a != b {
+		t.Fatal("same series must return the same handle")
+	}
+	a.Inc()
+	b.Add(2)
+	if a.Value() != 3 {
+		t.Fatalf("got %d, want 3", a.Value())
+	}
+	if other := r.Counter("hits", L("node", "p1"), L("type", "read")); other == a {
+		t.Fatal("different labels must be a different series")
+	}
+	g := r.Gauge("depth")
+	g.Set(4)
+	g.Add(-1.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge got %v, want 2.5", g.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 6, 20} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count %d, want 8", h.Count())
+	}
+	if want := 0.5 + 1.5 + 1.5 + 3 + 3 + 3 + 6 + 20; math.Abs(h.Sum()-want) > 1e-9 {
+		t.Fatalf("sum %v, want %v", h.Sum(), want)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 1 || p50 > 4 {
+		t.Fatalf("p50 %v out of plausible [1,4]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 8 {
+		t.Fatalf("p99 %v should land in the overflow bucket (>=8)", p99)
+	}
+	if q := h.Quantile(0); q < 0 || q > 1 {
+		t.Fatalf("q0 %v should fall in the first bucket", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-8.0) > 1e-6 {
+		t.Fatalf("sum %v, want 8", h.Sum())
+	}
+}
+
+func TestPrometheusAndJSONEncoding(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sorrento_test_total", L("node", "p0")).Add(3)
+	r.Gauge("sorrento_test_depth").Set(1.5)
+	r.GaugeFunc("sorrento_test_func", func() float64 { return 7 })
+	h := r.Histogram("sorrento_test_seconds", []float64{0.1, 1}, L("node", "p0"))
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE sorrento_test_total counter",
+		`sorrento_test_total{node="p0"} 3`,
+		"sorrento_test_depth 1.5",
+		"sorrento_test_func 7",
+		"# TYPE sorrento_test_seconds histogram",
+		`sorrento_test_seconds_bucket{node="p0",le="0.1"} 1`,
+		`sorrento_test_seconds_bucket{node="p0",le="1"} 2`,
+		`sorrento_test_seconds_bucket{node="p0",le="+Inf"} 3`,
+		`sorrento_test_seconds_count{node="p0"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+
+	buf.Reset()
+	if err := WriteJSON(&buf, r, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []MetricSnapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON snapshot does not parse: %v", err)
+	}
+	if len(doc.Metrics) != 4 {
+		t.Fatalf("got %d metrics, want 4", len(doc.Metrics))
+	}
+}
+
+func TestTracerSpansAndPropagation(t *testing.T) {
+	clock := simtime.NewClock(0.001)
+	tr := NewTracer(clock, 8)
+	ctx, root := tr.Start(context.Background(), "client", "commit")
+	if !root.Context().Valid() {
+		t.Fatal("root span must have a trace ID")
+	}
+	_, child := tr.Start(ctx, "p0", "rpc:Prepare2PC")
+	if child.Context().TraceID != root.Context().TraceID {
+		t.Fatal("child must share the root's trace")
+	}
+	clock.Sleep(10 * time.Millisecond)
+	child.SetError(errors.New("boom"))
+	child.End()
+	child.End() // idempotent
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "rpc:Prepare2PC" || spans[0].Parent != root.Context().SpanID {
+		t.Fatalf("child span mis-recorded: %+v", spans[0])
+	}
+	if spans[0].Err != "boom" {
+		t.Fatalf("child error lost: %+v", spans[0])
+	}
+	if spans[0].Dur < 10*time.Millisecond {
+		t.Fatalf("child modeled duration %v, want >= 10ms", spans[0].Dur)
+	}
+	if spans[1].Name != "commit" || spans[1].Parent != 0 {
+		t.Fatalf("root span mis-recorded: %+v", spans[1])
+	}
+
+	// Ring wrap: capacity 8, add 10 more spans → oldest dropped.
+	for i := 0; i < 10; i++ {
+		_, s := tr.Start(context.Background(), "n", "filler")
+		s.End()
+	}
+	spans = tr.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("ring should cap at 8, got %d", len(spans))
+	}
+	for _, s := range spans {
+		if s.Name != "filler" {
+			t.Fatalf("oldest spans should have been evicted, found %q", s.Name)
+		}
+	}
+}
+
+func TestRPCRecorder(t *testing.T) {
+	r := NewRegistry()
+	rec := NewRPCRecorder(r, "client", "c0")
+	type segRead struct{}
+	rec.Observe(segRead{}, 100, 4096, 5*time.Millisecond, nil)
+	rec.Observe(&segRead{}, 100, 0, time.Millisecond, errors.New("timeout"))
+	rec.ObserveCast(segRead{}, 96)
+	h := r.Histogram("sorrento_rpc_client_seconds", nil, L("node", "c0"), L("type", "segRead"))
+	if h.Count() != 2 {
+		t.Fatalf("latency count %d, want 2 (pointer and value must share a family)", h.Count())
+	}
+	if got := r.Counter("sorrento_rpc_bytes_total", L("node", "c0"), L("type", "segRead"), L("dir", "sent")).Value(); got != 296 {
+		t.Fatalf("sent bytes %d, want 296", got)
+	}
+	if got := r.Counter("sorrento_rpc_errors_total", L("node", "c0"), L("type", "segRead")).Value(); got != 1 {
+		t.Fatalf("errors %d, want 1", got)
+	}
+	if got := r.Counter("sorrento_rpc_casts_total", L("node", "c0"), L("type", "segRead")).Value(); got != 1 {
+		t.Fatalf("casts %d, want 1", got)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	o := New(simtime.Real())
+	o.Reg().Counter("sorrento_test_total").Inc()
+	_, s := o.Tr().Start(context.Background(), "n", "op")
+	s.End()
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+	for path, want := range map[string]string{
+		"/metrics":      "sorrento_test_total 1",
+		"/metrics.json": `"sorrento_test_total"`,
+		"/debug/trace":  `"name": "op"`,
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("%s missing %q:\n%s", path, want, buf.String())
+		}
+	}
+}
+
+func TestRegisterResource(t *testing.T) {
+	clock := simtime.NewClock(0.001)
+	res := simtime.NewResource(clock, "p0/disk")
+	r := NewRegistry()
+	RegisterResource(r, clock, res, L("node", "p0"))
+	res.Use(50 * time.Millisecond)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `sorrento_resource_busy_seconds_total{node="p0",resource="p0/disk"} 0.05`) {
+		t.Fatalf("busy seconds not exported:\n%s", text)
+	}
+	if !strings.Contains(text, `sorrento_resource_requests_total{node="p0",resource="p0/disk"} 1`) {
+		t.Fatalf("requests not exported:\n%s", text)
+	}
+}

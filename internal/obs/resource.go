@@ -1,0 +1,29 @@
+package obs
+
+import "repro/internal/simtime"
+
+// RegisterResource exports a simtime.Resource (a NIC direction, a disk arm,
+// a CPU) as four gauges keyed by the resource's name: a windowed busy
+// fraction (sampled between scrapes), the instantaneous queue depth in
+// modeled seconds of backlogged service, and the cumulative service
+// time/request count. All reads happen at snapshot time — nothing is
+// charged on the resource's own hot path.
+func RegisterResource(reg *Registry, clock *simtime.Clock, res *simtime.Resource, labels ...Label) {
+	if reg == nil || res == nil {
+		return
+	}
+	lbl := append([]Label{L("resource", res.Name())}, labels...)
+	sampler := simtime.NewUtilizationSampler(clock, res)
+	reg.GaugeFunc("sorrento_resource_utilization", sampler.Sample, lbl...)
+	reg.GaugeFunc("sorrento_resource_queue_seconds", func() float64 {
+		return res.Backlog().Seconds()
+	}, lbl...)
+	reg.GaugeFunc("sorrento_resource_busy_seconds_total", func() float64 {
+		busy, _ := res.BusyTime()
+		return busy.Seconds()
+	}, lbl...)
+	reg.GaugeFunc("sorrento_resource_requests_total", func() float64 {
+		_, n := res.BusyTime()
+		return float64(n)
+	}, lbl...)
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// SpanContext identifies a span for cross-process propagation: TraceID ties
+// all spans of one logical operation together, SpanID names this span so
+// children can parent on it. The zero value means "no active span".
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context carries a real trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 }
+
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sc, for transports re-injecting a
+// remote span context on the server side.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the active span context, if any.
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	if ctx == nil {
+		return SpanContext{}, false
+	}
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok
+}
+
+// SpanRecord is one completed span as stored in the tracer ring.
+type SpanRecord struct {
+	Trace  uint64        `json:"trace"`
+	Span   uint64        `json:"span"`
+	Parent uint64        `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Node   string        `json:"node,omitempty"`
+	Start  time.Duration `json:"start_ns"` // modeled time since clock start
+	Dur    time.Duration `json:"dur_ns"`   // modeled duration
+	Err    string        `json:"err,omitempty"`
+}
+
+// Tracer records spans into a bounded ring. Construct with NewTracer; a nil
+// *Tracer is valid and disables tracing. Span timestamps use the modeled
+// clock so traces line up with histogram latencies.
+type Tracer struct {
+	clock *simtime.Clock
+	seq   atomic.Uint64
+
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int
+	full bool
+}
+
+// DefaultSpanCapacity bounds the completed-span ring when NewTracer is
+// given capacity <= 0.
+const DefaultSpanCapacity = 4096
+
+// NewTracer returns a tracer stamping spans from clock (nil clock = real
+// time) keeping the last capacity completed spans.
+func NewTracer(clock *simtime.Clock, capacity int) *Tracer {
+	if clock == nil {
+		clock = simtime.Real()
+	}
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	t := &Tracer{clock: clock, ring: make([]SpanRecord, capacity)}
+	// Seed the ID sequence with the wall clock so IDs from distinct
+	// processes in one trace dump don't collide on small integers.
+	t.seq.Store(uint64(time.Now().UnixNano()) | 1)
+	return t
+}
+
+// nextID returns a process-unique non-zero ID (splitmix64 over a counter).
+func (t *Tracer) nextID() uint64 {
+	z := t.seq.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// Span is an in-flight span. End completes it; all methods are nil-safe.
+type Span struct {
+	t     *Tracer
+	rec   SpanRecord
+	ended atomic.Bool
+}
+
+// Start opens a span named name on node, parented on ctx's span context if
+// one is present (else it begins a new trace), and returns a derived
+// context carrying the new span. On a nil tracer it returns (ctx, nil).
+func (t *Tracer) Start(ctx context.Context, node, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{t: t}
+	s.rec.Name = name
+	s.rec.Node = node
+	s.rec.Span = t.nextID()
+	if parent, ok := FromContext(ctx); ok && parent.Valid() {
+		s.rec.Trace = parent.TraceID
+		s.rec.Parent = parent.SpanID
+	} else {
+		s.rec.Trace = t.nextID()
+	}
+	s.rec.Start = t.clock.Now()
+	return ContextWith(ctx, s.Context()), s
+}
+
+// Context returns the span's propagation context (zero on nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.rec.Trace, SpanID: s.rec.Span}
+}
+
+// SetError attaches err to the span (kept on End). No-op on nil span/err.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.rec.Err = err.Error()
+}
+
+// End completes the span and commits it to the ring. Idempotent.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	s.rec.Dur = s.t.clock.Now() - s.rec.Start
+	t := s.t
+	t.mu.Lock()
+	t.ring[t.next] = s.rec
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the completed spans, oldest first. Always non-nil (so JSON
+// dumps render "[]" rather than "null"), empty on a nil tracer.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return []SpanRecord{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]SpanRecord{}, t.ring[:t.next]...)
+	}
+	out := make([]SpanRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Obs bundles the registry and tracer so one pointer plumbs both through
+// configs. A nil *Obs (and nil fields) disables everything.
+type Obs struct {
+	Registry *Registry
+	Tracer   *Tracer
+}
+
+// New returns a fully enabled Obs stamping spans from clock.
+func New(clock *simtime.Clock) *Obs {
+	return &Obs{Registry: NewRegistry(), Tracer: NewTracer(clock, 0)}
+}
+
+// Reg returns the registry, nil-safely.
+func (o *Obs) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Registry
+}
+
+// Tr returns the tracer, nil-safely.
+func (o *Obs) Tr() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}

@@ -83,6 +83,11 @@ func (h *handler) HandleCall(ctx context.Context, from wire.NodeID, req any) (an
 	case wire.LocQuery:
 		p.charge()
 		owners := p.table.Owners(m.Seg)
+		if len(owners) > 0 {
+			p.pm.locHits.Inc()
+		} else {
+			p.pm.locMisses.Inc()
+		}
 		return wire.LocQueryResp{OK: len(owners) > 0, Owners: owners}, nil
 	case wire.SyncNotify:
 		return p.handleSync(m), nil
@@ -229,6 +234,9 @@ func (p *Provider) handleFetchDelta(m wire.SegFetchDelta) wire.SegFetchDeltaResp
 
 func (p *Provider) handlePrepare(m wire.Prepare2PC) wire.Prepare2PCResp {
 	p.charge()
+	p.pm.prepare2PC.Inc()
+	start := p.clock.Now()
+	defer func() { p.pm.prepareLat.ObserveDuration(p.clock.Now() - start) }()
 	resp := wire.Prepare2PCResp{OK: true}
 	for i, seg := range m.Segs {
 		ver, size, err := p.store.Prepare(m.Owner, seg)
@@ -247,6 +255,9 @@ func (p *Provider) handlePrepare(m wire.Prepare2PC) wire.Prepare2PCResp {
 
 func (p *Provider) handleCommit(m wire.Commit2PC) wire.GenericResp {
 	p.charge()
+	p.pm.commit2PC.Inc()
+	start := p.clock.Now()
+	defer func() { p.pm.commitLat.ObserveDuration(p.clock.Now() - start) }()
 	for _, seg := range m.Segs {
 		if _, _, err := p.store.CommitPrepared(m.Owner, seg); err != nil {
 			return wire.GenericResp{Err: fmt.Sprintf("commit %s: %v", seg.Short(), err)}
@@ -260,6 +271,7 @@ func (p *Provider) handleCommit(m wire.Commit2PC) wire.GenericResp {
 
 func (p *Provider) handleAbort(m wire.Abort2PC) wire.GenericResp {
 	p.charge()
+	p.pm.abort2PC.Inc()
 	for _, seg := range m.Segs {
 		p.store.AbortPrepared(m.Owner, seg)
 	}
@@ -322,6 +334,7 @@ func (p *Provider) pullSegment(seg [16]byte, ver uint64, source wire.NodeID, rep
 			}
 			if !d.FullFallback {
 				if err := p.store.ApplyDelta(seg, local.Version, d.Version, d.Ranges, d.Size, replDeg, locThresh); err == nil {
+					p.pm.pullsDelta.Inc()
 					p.notifyHomeSync(seg)
 					return wire.GenericResp{OK: true}
 				}
@@ -331,6 +344,7 @@ func (p *Provider) pullSegment(seg [16]byte, ver uint64, source wire.NodeID, rep
 				if err := p.store.Install(seg, d.Version, d.Full, orDefault(replDeg, d.ReplDeg), orDefaultF(locThresh, d.LocalityThreshold)); err != nil {
 					return wire.GenericResp{Err: err.Error()}
 				}
+				p.pm.pullsFull.Inc()
 				p.notifyHomeSync(seg)
 				return wire.GenericResp{OK: true}
 			}
@@ -347,6 +361,7 @@ func (p *Provider) pullSegment(seg [16]byte, ver uint64, source wire.NodeID, rep
 	if err := p.store.Install(seg, f.Version, f.Data, orDefault(replDeg, f.ReplDeg), orDefaultF(locThresh, f.LocalityThreshold)); err != nil {
 		return wire.GenericResp{Err: err.Error()}
 	}
+	p.pm.pullsFull.Inc()
 	p.notifyHomeSync(seg)
 	return wire.GenericResp{OK: true}
 }

@@ -87,6 +87,7 @@ func (p *Provider) localityMigrate() bool {
 			continue
 		}
 		if err := p.migrateSegment(seg, node); err == nil {
+			p.pm.migrLocality.Inc()
 			return true
 		}
 	}
@@ -129,7 +130,14 @@ func (p *Provider) loadMigrate() {
 	if err != nil {
 		return
 	}
-	p.migrateSegment(seg.ID, dest)
+	if p.migrateSegment(seg.ID, dest) == nil {
+		switch trigger {
+		case migration.IOLoad:
+			p.pm.migrIOLoad.Inc()
+		case migration.Space:
+			p.pm.migrSpace.Inc()
+		}
+	}
 }
 
 // migrateSegment moves one segment: the destination pulls a replica, then

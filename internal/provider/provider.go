@@ -16,6 +16,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/locate"
 	"repro/internal/membership"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/segstore"
 	"repro/internal/simtime"
@@ -60,6 +61,10 @@ type Config struct {
 	HeartbeatLoadEWMA float64
 	// Migration tunes the migration engine; see Migration type.
 	Migration MigrationConfig
+	// Obs enables the provider's domain metrics (2PC rounds, location-table
+	// hit/miss, replica pulls, migration decisions with their f_l/f_s
+	// inputs) plus disk/CPU resource gauges. Nil disables all of it.
+	Obs *obs.Obs
 }
 
 // NoOpCost disables the modeled per-RPC processing charge — real daemons
@@ -102,6 +107,7 @@ type Provider struct {
 	ioEWMA   *stats.EWMA
 
 	pullSem chan struct{} // bounds concurrent replica pulls
+	pm      providerMetrics
 
 	mu       sync.Mutex
 	lastHome map[ids.SegID]wire.NodeID // where each local segment was last registered
@@ -112,6 +118,58 @@ type Provider struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
+}
+
+// providerMetrics holds the provider's domain metric handles, resolved once
+// at construction. All handles are nil when obs is off; every method on a
+// nil handle is a no-op, so call sites stay unconditional.
+type providerMetrics struct {
+	prepare2PC   *obs.Counter
+	commit2PC    *obs.Counter
+	abort2PC     *obs.Counter
+	prepareLat   *obs.Histogram
+	commitLat    *obs.Histogram
+	locHits      *obs.Counter
+	locMisses    *obs.Counter
+	pullsDelta   *obs.Counter
+	pullsFull    *obs.Counter
+	migrIOLoad   *obs.Counter
+	migrSpace    *obs.Counter
+	migrLocality *obs.Counter
+	loadFL       *obs.Gauge // f_l: the smoothed I/O load input to migration
+}
+
+// instrument registers the provider's observability surface: domain metric
+// handles, disk/CPU resource gauges, space gauges, and the membership
+// failure-detection metrics. Runs before Start so no locks are needed.
+func (p *Provider) instrument(d *disk.Disk) {
+	reg := p.cfg.Obs.Reg()
+	if reg == nil {
+		return
+	}
+	node := obs.L("node", string(p.id))
+	p.pm = providerMetrics{
+		prepare2PC:   reg.Counter("sorrento_provider_2pc_total", node, obs.L("phase", "prepare")),
+		commit2PC:    reg.Counter("sorrento_provider_2pc_total", node, obs.L("phase", "commit")),
+		abort2PC:     reg.Counter("sorrento_provider_2pc_total", node, obs.L("phase", "abort")),
+		prepareLat:   reg.Histogram("sorrento_provider_2pc_seconds", nil, node, obs.L("phase", "prepare")),
+		commitLat:    reg.Histogram("sorrento_provider_2pc_seconds", nil, node, obs.L("phase", "commit")),
+		locHits:      reg.Counter("sorrento_provider_loc_queries_total", node, obs.L("result", "hit")),
+		locMisses:    reg.Counter("sorrento_provider_loc_queries_total", node, obs.L("result", "miss")),
+		pullsDelta:   reg.Counter("sorrento_provider_pulls_total", node, obs.L("kind", "delta")),
+		pullsFull:    reg.Counter("sorrento_provider_pulls_total", node, obs.L("kind", "full")),
+		migrIOLoad:   reg.Counter("sorrento_provider_migrations_total", node, obs.L("trigger", "ioload")),
+		migrSpace:    reg.Counter("sorrento_provider_migrations_total", node, obs.L("trigger", "space")),
+		migrLocality: reg.Counter("sorrento_provider_migrations_total", node, obs.L("trigger", "locality")),
+		loadFL:       reg.Gauge("sorrento_provider_load_fl", node),
+	}
+	obs.RegisterResource(reg, p.clock, d.Resource(), node)
+	obs.RegisterResource(reg, p.clock, p.cpu, node)
+	reg.GaugeFunc("sorrento_disk_used_bytes", func() float64 { return float64(d.Used()) }, node)
+	reg.GaugeFunc("sorrento_disk_used_frac", d.UsedFrac, node)
+	reg.GaugeFunc("sorrento_provider_shadows_open", func() float64 { return float64(p.store.ShadowCount()) }, node)
+	reg.GaugeFunc("sorrento_provider_segments", func() float64 { return float64(p.store.Len()) }, node)
+	p.members.Instrument(reg, string(p.id))
 }
 
 // New constructs a provider on the given network. extraResources (e.g. the
@@ -169,6 +227,7 @@ func New(id wire.NodeID, clock *simtime.Clock, cfg Config, network transport.Net
 	}
 	res := append([]*simtime.Resource{d.Resource(), p.cpu}, extraResources...)
 	p.util = simtime.NewUtilizationSampler(clock, res...)
+	p.instrument(d)
 	ep, err := network.Join(id, (*handler)(p))
 	if err != nil {
 		return nil, err
@@ -247,6 +306,7 @@ func (p *Provider) sampleLoad() {
 	u := p.util.Sample()
 	p.loadEWMA.Add(u)
 	p.ioEWMA.Add(u)
+	p.pm.loadFL.Set(p.ioEWMA.Value())
 }
 
 // loadInfo snapshots the load/space state for heartbeats.

@@ -128,6 +128,19 @@ func (st *Store) chargeRead(n int64) {
 // Disk returns the underlying disk (for load/space reporting).
 func (st *Store) Disk() *disk.Disk { return st.disk }
 
+// ShadowCount returns the number of open shadow sessions across all
+// segments (observability: each is an uncommitted write session holding a
+// commit slot).
+func (st *Store) ShadowCount() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, s := range st.segs {
+		n += len(s.shadows)
+	}
+	return n
+}
+
 // Create materializes a segment at version 1 with the given content. It is
 // used for initial creation and for versioning-off segments (direct=true).
 func (st *Store) Create(seg ids.SegID, data []byte, replDeg int, locThresh float64, direct bool) error {

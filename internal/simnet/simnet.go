@@ -14,8 +14,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -46,6 +48,7 @@ func FastEthernet() Config {
 type Fabric struct {
 	clock *simtime.Clock
 	cfg   Config
+	obs   atomic.Pointer[obs.Obs]
 
 	mu    sync.RWMutex
 	nodes map[wire.NodeID]*endpoint
@@ -65,6 +68,36 @@ func New(clock *simtime.Clock, cfg Config) *Fabric {
 // Clock returns the fabric's clock.
 func (f *Fabric) Clock() *simtime.Clock { return f.clock }
 
+// Instrument enables observability: every endpoint records per-message-type
+// RPC latency/bytes (client side — handlers run inline, so the round trip
+// covers service time), NICs export utilization/queue gauges, and calls
+// arriving with a span context in ctx get a child RPC span. Endpoints joined
+// before Instrument are wired up retroactively; call it before traffic
+// starts (cluster.New does) so recorders are never set mid-call.
+func (f *Fabric) Instrument(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	f.obs.Store(o)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, ep := range f.nodes {
+		f.instrumentLocked(ep)
+	}
+}
+
+func (f *Fabric) instrumentLocked(ep *endpoint) {
+	o := f.obs.Load()
+	if o == nil {
+		return
+	}
+	ep.rec.Store(obs.NewRPCRecorder(o.Reg(), "client", string(ep.id)))
+	if ep.host == ep.id { // owns its NIC; co-located endpoints share it
+		obs.RegisterResource(o.Reg(), f.clock, ep.nic.send)
+		obs.RegisterResource(o.Reg(), f.clock, ep.nic.recv)
+	}
+}
+
 type nic struct {
 	send *simtime.Resource
 	recv *simtime.Resource
@@ -76,6 +109,7 @@ type endpoint struct {
 	host    wire.NodeID
 	nic     *nic // shared among co-located endpoints
 	handler transport.Handler
+	rec     atomic.Pointer[obs.RPCRecorder]
 
 	mu     sync.Mutex
 	closed bool
@@ -114,6 +148,7 @@ func (f *Fabric) join(id, host wire.NodeID, h transport.Handler, sharedNIC *nic)
 	}
 	ep := &endpoint{fabric: f, id: id, host: host, nic: n, handler: h}
 	f.nodes[id] = ep
+	f.instrumentLocked(ep)
 	return ep, nil
 }
 
@@ -152,7 +187,29 @@ func (e *endpoint) isClosed() bool {
 // Call implements transport.Endpoint. The request charges the sender's send
 // direction and the receiver's receive direction plus latency; the response
 // does the reverse. Calls between co-located endpoints are free.
+//
+// On an instrumented fabric every call lands in the caller's per-type
+// latency/bytes series; a span is opened only when ctx already carries a
+// trace (the domain layer decides what is worth tracing), so an idle
+// registry costs one atomic load per call.
 func (e *endpoint) Call(ctx context.Context, to wire.NodeID, req any) (any, error) {
+	rec := e.rec.Load()
+	if rec == nil {
+		return e.call(ctx, to, req)
+	}
+	var sp *obs.Span
+	if _, traced := obs.FromContext(ctx); traced {
+		ctx, sp = e.fabric.obs.Load().Tr().Start(ctx, string(e.id), "rpc:"+obs.MsgTypeName(req))
+	}
+	start := e.fabric.clock.Now()
+	resp, err := e.call(ctx, to, req)
+	sp.SetError(err)
+	sp.End()
+	rec.Observe(req, wire.SizeOf(req), wire.SizeOf(resp), e.fabric.clock.Now()-start, err)
+	return resp, err
+}
+
+func (e *endpoint) call(ctx context.Context, to wire.NodeID, req any) (any, error) {
 	if e.isClosed() {
 		return nil, transport.ErrClosed
 	}
@@ -174,7 +231,19 @@ func (e *endpoint) Call(ctx context.Context, to wire.NodeID, req any) (any, erro
 	if dst.handler == nil {
 		return nil, transport.ErrNoHandler
 	}
-	resp, err := dst.handler.HandleCall(ctx, e.host, req)
+	// Mirror the TCP transport's server-side span so a trace shows where the
+	// handler ran, not just who called it (the ctx already carries the
+	// caller's span, so this parents correctly for free).
+	sctx := ctx
+	var ssp *obs.Span
+	if o := e.fabric.obs.Load(); o != nil {
+		if _, traced := obs.FromContext(ctx); traced {
+			sctx, ssp = o.Tr().Start(ctx, string(dst.id), "serve:"+obs.MsgTypeName(req))
+		}
+	}
+	resp, err := dst.handler.HandleCall(sctx, e.host, req)
+	ssp.SetError(err)
+	ssp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -266,6 +335,9 @@ func (e *endpoint) Multicast(msg any) {
 		return
 	}
 	size := wire.SizeOf(msg)
+	if rec := e.rec.Load(); rec != nil {
+		rec.ObserveCast(msg, size)
+	}
 	// Multicast frames are small control traffic (heartbeats, location
 	// probes): they ride the priority lane so they are never starved by
 	// bulk transfers — losing heartbeats under load would fake failures.

@@ -159,6 +159,61 @@ func TestReplayThinkTimePaces(t *testing.T) {
 	}
 }
 
+// TestReplayTimingFidelity replays an interleaved think/read trace under a
+// heavily compressed clock (scale 0.001: one modeled second is one wall
+// millisecond) and checks that the replayer's accounting stays coherent on
+// the modeled timeline:
+//
+//   - recorded think gaps are honoured as modeled time, not wall time;
+//   - injected device latency lands in IOTime but think time does not;
+//   - Elapsed covers think plus I/O, i.e. the replay is paced rather than
+//     issued back-to-back;
+//   - the wall-clock cost of the run reflects the compression (a ~2.4s
+//     modeled replay must finish in far under a second of wall time).
+//
+// Upper bounds are deliberately loose (~3x) — modeled time is wall/scale, so
+// scheduler jitter is amplified by 1/scale — but tight enough to catch the
+// failure modes above, each of which is off by an order of magnitude.
+func TestReplayTimingFidelity(t *testing.T) {
+	clock := simtime.NewClock(0.001)
+	fs := newMemFS(clock)
+	fs.readDelay = 50 * time.Millisecond
+	r := NewReplayer(clock, fs)
+	fs.files["/f"] = make([]byte, 1<<20)
+
+	const rounds = 8
+	const think = 250 * time.Millisecond
+	tr := &Trace{Records: []Record{{Kind: OpOpen, Path: "/f"}}}
+	for i := 0; i < rounds; i++ {
+		tr.Append(Record{Kind: OpThink, Dur: think})
+		tr.Append(Record{Kind: OpRead, Path: "/f", Off: int64(i) * 4096, N: 4096})
+	}
+	tr.Append(Record{Kind: OpClose, Path: "/f"})
+
+	wallStart := time.Now()
+	st := r.Run(tr)
+	wall := time.Since(wallStart)
+
+	if st.Errors != 0 {
+		t.Fatalf("errors = %d", st.Errors)
+	}
+	thinkTotal := time.Duration(rounds) * think     // 2s modeled
+	ioFloor := time.Duration(rounds) * fs.readDelay // 400ms modeled
+	if st.IOTime < ioFloor || st.IOTime > 3*ioFloor {
+		t.Errorf("IOTime = %v, want ~%v (device latency only, no think time)", st.IOTime, ioFloor)
+	}
+	wantElapsed := thinkTotal + ioFloor
+	if st.Elapsed < wantElapsed {
+		t.Errorf("Elapsed = %v, want ≥ %v (think + I/O on the modeled timeline)", st.Elapsed, wantElapsed)
+	}
+	if st.Elapsed > 3*wantElapsed {
+		t.Errorf("Elapsed = %v, want ≤ ~%v (pacing overshoot)", st.Elapsed, 3*wantElapsed)
+	}
+	if wall > time.Second {
+		t.Errorf("wall time = %v for a %v modeled replay at scale 0.001; clock compression not applied", wall, st.Elapsed)
+	}
+}
+
 func TestReplayQueryIOTime(t *testing.T) {
 	clock := simtime.NewClock(0.001)
 	fs := newMemFS(clock)

@@ -9,13 +9,18 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
-// callEnvelope frames one TCP request.
+// callEnvelope frames one TCP request. Trace/Span carry the caller's span
+// context across the wire (zero = untraced); gob tolerates the fields being
+// absent, so old and new binaries interoperate.
 type callEnvelope struct {
-	From wire.NodeID
-	Msg  any
+	From  wire.NodeID
+	Msg   any
+	Trace uint64
+	Span  uint64
 }
 
 // replyEnvelope frames one TCP response.
@@ -41,6 +46,10 @@ type TCPNode struct {
 	ln      net.Listener
 	udp     *net.UDPConn
 
+	obs *obs.Obs
+	cli *obs.RPCRecorder // per-type client-side call metrics
+	srv *obs.RPCRecorder // per-type server-side service metrics
+
 	mu     sync.Mutex
 	peers  map[string]bool
 	closed bool
@@ -53,6 +62,14 @@ var _ Endpoint = (*TCPNode)(nil)
 // advertise is the address peers use to reach this node (defaults to bind);
 // seeds are initial peer addresses for the multicast emulation.
 func ListenTCP(bind, advertise string, seeds []string, h Handler) (*TCPNode, error) {
+	return ListenTCPObs(bind, advertise, seeds, h, nil)
+}
+
+// ListenTCPObs is ListenTCP with observability: every call/serve lands in
+// per-message-type latency and byte series (actual gob-framed wire bytes,
+// not estimates), and span contexts ride the call envelope so traces cross
+// machines. A nil o disables all of it.
+func ListenTCPObs(bind, advertise string, seeds []string, h Handler, o *obs.Obs) (*TCPNode, error) {
 	ln, err := net.Listen("tcp", bind)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen tcp %s: %w", bind, err)
@@ -79,6 +96,9 @@ func ListenTCP(bind, advertise string, seeds []string, h Handler) (*TCPNode, err
 		handler: h,
 		ln:      ln,
 		udp:     udp,
+		obs:     o,
+		cli:     obs.NewRPCRecorder(o.Reg(), "client", advertise),
+		srv:     obs.NewRPCRecorder(o.Reg(), "server", advertise),
 		peers:   make(map[string]bool),
 	}
 	for _, s := range seeds {
@@ -107,34 +127,81 @@ func (n *TCPNode) ID() wire.NodeID { return n.id }
 // Host implements Endpoint (a TCP node is its own host).
 func (n *TCPNode) Host() wire.NodeID { return n.id }
 
+// countingConn tallies the bytes crossing a net.Conn so RPC byte metrics
+// report real framed traffic, not estimates.
+type countingConn struct {
+	net.Conn
+	rd, wr int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.rd += int64(n)
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.wr += int64(n)
+	return n, err
+}
+
 // Call implements Endpoint.
 func (n *TCPNode) Call(ctx context.Context, to wire.NodeID, req any) (any, error) {
+	if n.cli == nil {
+		return n.call(ctx, to, req)
+	}
+	var sp *obs.Span
+	if _, traced := obs.FromContext(ctx); traced {
+		ctx, sp = n.obs.Tr().Start(ctx, string(n.id), "rpc:"+obs.MsgTypeName(req))
+	}
+	start := time.Now()
+	resp, sent, recv, err := n.doCall(ctx, to, req)
+	sp.SetError(err)
+	sp.End()
+	n.cli.Observe(req, sent, recv, time.Since(start), err)
+	return resp, err
+}
+
+func (n *TCPNode) call(ctx context.Context, to wire.NodeID, req any) (any, error) {
+	resp, _, _, err := n.doCall(ctx, to, req)
+	return resp, err
+}
+
+func (n *TCPNode) doCall(ctx context.Context, to wire.NodeID, req any) (resp any, sent, recv int, err error) {
 	if n.isClosed() {
-		return nil, ErrClosed
+		return nil, 0, 0, ErrClosed
 	}
 	d := net.Dialer{}
-	conn, err := d.DialContext(ctx, "tcp", string(to))
+	raw, err := d.DialContext(ctx, "tcp", string(to))
 	if err != nil {
-		return nil, fmt.Errorf("%w: dial %s: %v", ErrTimeout, to, err)
+		return nil, 0, 0, fmt.Errorf("%w: dial %s: %v", ErrTimeout, to, err)
 	}
-	defer conn.Close()
+	conn := &countingConn{Conn: raw}
+	defer func() {
+		conn.Close()
+		sent, recv = int(conn.wr), int(conn.rd)
+	}()
 	if deadline, ok := ctx.Deadline(); ok {
 		conn.SetDeadline(deadline)
 	} else {
 		conn.SetDeadline(time.Now().Add(60 * time.Second))
 	}
 	env := callEnvelope{From: n.id, Msg: req}
+	if sc, ok := obs.FromContext(ctx); ok {
+		env.Trace, env.Span = sc.TraceID, sc.SpanID
+	}
 	if err := gob.NewEncoder(conn).Encode(&env); err != nil {
-		return nil, fmt.Errorf("transport: send to %s: %w", to, err)
+		return nil, 0, 0, fmt.Errorf("transport: send to %s: %w", to, err)
 	}
 	var reply replyEnvelope
 	if err := gob.NewDecoder(conn).Decode(&reply); err != nil {
-		return nil, fmt.Errorf("%w: reply from %s: %v", ErrTimeout, to, err)
+		return nil, 0, 0, fmt.Errorf("%w: reply from %s: %v", ErrTimeout, to, err)
 	}
 	if reply.Err != "" {
-		return nil, fmt.Errorf("transport: remote %s: %s", to, reply.Err)
+		return nil, 0, 0, fmt.Errorf("transport: remote %s: %s", to, reply.Err)
 	}
-	return reply.Msg, nil
+	return reply.Msg, 0, 0, nil
 }
 
 // Multicast implements Endpoint via UDP fan-out to the known peers.
@@ -153,13 +220,26 @@ func (n *TCPNode) Multicast(msg any) {
 		peers = append(peers, p)
 	}
 	n.mu.Unlock()
+	sent := 0
 	for _, p := range peers {
 		addr, err := net.ResolveUDPAddr("udp", p)
 		if err != nil {
 			continue
 		}
-		n.udp.WriteToUDP(buf.Bytes(), addr)
+		if _, err := n.udp.WriteToUDP(buf.Bytes(), addr); err == nil {
+			sent += buf.Len()
+		}
 	}
+	if n.cli != nil {
+		n.cli.ObserveCast(msg, sent)
+	}
+}
+
+// WarmRPC pre-registers the RPC metric families for the given message
+// values so a freshly started daemon's /metrics already lists them at zero.
+func (n *TCPNode) WarmRPC(msgs ...any) {
+	n.cli.Warm(msgs...)
+	n.srv.Warm(msgs...)
 }
 
 // AddPeer adds an address to the multicast peer set.
@@ -204,7 +284,8 @@ func (n *TCPNode) acceptLoop() {
 	}
 }
 
-func (n *TCPNode) serve(conn net.Conn) {
+func (n *TCPNode) serve(raw net.Conn) {
+	conn := &countingConn{Conn: raw}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(5 * time.Minute))
 	var env callEnvelope
@@ -212,12 +293,22 @@ func (n *TCPNode) serve(conn net.Conn) {
 		return
 	}
 	n.AddPeer(string(env.From))
-	resp, err := n.handler.HandleCall(context.Background(), env.From, env.Msg)
+	ctx := context.Background()
+	var sp *obs.Span
+	if env.Trace != 0 {
+		ctx = obs.ContextWith(ctx, obs.SpanContext{TraceID: env.Trace, SpanID: env.Span})
+		ctx, sp = n.obs.Tr().Start(ctx, string(n.id), "serve:"+obs.MsgTypeName(env.Msg))
+	}
+	start := time.Now()
+	resp, err := n.handler.HandleCall(ctx, env.From, env.Msg)
+	sp.SetError(err)
+	sp.End()
 	reply := replyEnvelope{Msg: resp}
 	if err != nil {
 		reply.Err = err.Error()
 	}
 	gob.NewEncoder(conn).Encode(&reply)
+	n.srv.Observe(env.Msg, int(conn.wr), int(conn.rd), time.Since(start), err)
 }
 
 func (n *TCPNode) udpLoop() {
@@ -245,6 +336,8 @@ type TCPNetwork struct {
 	Bind string
 	// Seeds are the initial multicast peers for every joined node.
 	Seeds []string
+	// Obs, when set, instruments every joined node (see ListenTCPObs).
+	Obs *obs.Obs
 }
 
 // Join implements Network.
@@ -259,7 +352,7 @@ func (t *TCPNetwork) Join(id wire.NodeID, h Handler) (Endpoint, error) {
 	if _, port, err := net.SplitHostPort(advertise); err == nil && port == "0" {
 		advertise = ""
 	}
-	return ListenTCP(bind, advertise, t.Seeds, h)
+	return ListenTCPObs(bind, advertise, t.Seeds, h, t.Obs)
 }
 
 // JoinAt implements Network; co-location has no special meaning over real
