@@ -29,9 +29,11 @@ func main() {
 	obsOn := flag.Bool("obs", true, "instrument each run and write a metrics snapshot")
 	metricsOut := flag.String("metrics-out", ".", "directory for per-run <exp>-metrics.{json,prom} snapshots (empty disables)")
 	maxPar := flag.Int("maxparallel", 0, "override clients' MaxParallelIO fan-out width (0 = default)")
+	faults := flag.Bool("faults", false, "fig13: partition the victim instead of killing it (exercises retry/failover + resync)")
 	flag.Parse()
 
 	bench.MaxParallelIO = *maxPar
+	fig13Faults = *faults
 
 	runners := map[string]func(bool) error{
 		"fig9":      runFig9,
@@ -168,8 +170,14 @@ func runFig12(quick bool) error {
 	return nil
 }
 
+// fig13Faults is set by the -faults flag: run fig13 in partition mode.
+var fig13Faults bool
+
 func runFig13(quick bool) error {
 	p := bench.Fig13Params{Scale: bench.Scale{Time: 0.02, Data: 1024}}
+	if fig13Faults {
+		p.FaultMode = "partition"
+	}
 	if quick {
 		p.Files = 24
 		p.RunFor = 90 * time.Second

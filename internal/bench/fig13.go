@@ -37,6 +37,12 @@ type Fig13Params struct {
 	// FailAt and JoinAt are event times from measurement start.
 	FailAt time.Duration
 	JoinAt time.Duration
+	// FaultMode selects how the node "fails". "kill" (default) crashes the
+	// victim and joins a fresh node at JoinAt — the paper's §4.3 scenario.
+	// "partition" cuts the victim off the network at FailAt and heals it at
+	// JoinAt: the same workload now exercises the retry/failover data path
+	// and post-heal resynchronization instead of fresh-replica recovery.
+	FaultMode string
 	// RunFor is the measured window.
 	RunFor time.Duration
 	// RecoveryWait bounds how long to watch for full re-replication after
@@ -86,11 +92,16 @@ func (p Fig13Params) withDefaults() Fig13Params {
 	if p.RecoveryWait <= 0 {
 		p.RecoveryWait = 30 * time.Minute
 	}
+	if p.FaultMode == "" {
+		p.FaultMode = "kill"
+	}
 	return p
 }
 
 // Fig13Result holds the timeline and recovery observations.
 type Fig13Result struct {
+	// Mode echoes the fault mode the run used.
+	Mode string
 	// Series is the aggregate client transfer rate (MB/s at paper scale)
 	// in 3-second buckets.
 	Series []stats.Point
@@ -109,7 +120,7 @@ type Fig13Result struct {
 
 // Report prints the timeline and summary.
 func (r *Fig13Result) Report(w io.Writer) {
-	fmt.Fprintf(w, "Figure 13: handling node failures and additions\n")
+	fmt.Fprintf(w, "Figure 13: handling node failures and additions (mode=%s)\n", r.Mode)
 	fmt.Fprintf(w, "time(s)  rate(MB/s)\n")
 	for _, pt := range r.Series {
 		fmt.Fprintf(w, "%7.0f  %9.1f\n", pt.T.Seconds(), pt.V)
@@ -246,13 +257,25 @@ func RunFig13(p Fig13Params) (*Fig13Result, error) {
 	// Fault injection.
 	clock.Sleep(p.FailAt)
 	victim := cluster.ProviderID(1)
-	if err := env.Cluster.KillProvider(victim); err != nil {
-		return nil, err
+	switch p.FaultMode {
+	case "partition":
+		env.Cluster.Fabric.IsolateNode(victim)
+	default: // "kill"
+		if err := env.Cluster.KillProvider(victim); err != nil {
+			return nil, err
+		}
 	}
 	failTime := clock.Now()
 	clock.Sleep(p.JoinAt - p.FailAt)
-	if _, err := env.Cluster.AddProvider(wire.NodeID("pnew")); err != nil {
-		return nil, err
+	switch p.FaultMode {
+	case "partition":
+		// The victim rejoins with its data intact; replication converges by
+		// resync rather than fresh-replica recovery.
+		env.Cluster.Fabric.HealNode(victim)
+	default:
+		if _, err := env.Cluster.AddProvider(wire.NodeID("pnew")); err != nil {
+			return nil, err
+		}
 	}
 	clock.Sleep(p.RunFor - p.JoinAt)
 	close(stop)
@@ -260,7 +283,7 @@ func RunFig13(p Fig13Params) (*Fig13Result, error) {
 	wg.Wait()
 
 	// Watch recovery to full replication.
-	res := &Fig13Result{Series: series.Bucketed(3 * time.Second), ReplicasBefore: replicasBefore}
+	res := &Fig13Result{Mode: p.FaultMode, Series: series.Bucketed(3 * time.Second), ReplicasBefore: replicasBefore}
 	res.RecoverySec = -1
 	recoveryDeadline := clock.Now() + p.RecoveryWait
 	for {

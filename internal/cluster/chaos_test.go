@@ -1,0 +1,396 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/namespace"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// The chaos suite drives concurrent writers and readers through a
+// seed-pinned randomized fault schedule (partitions, lossy links, gray
+// pauses, crash-restarts) and asserts the paper's durability story: no
+// acknowledged commit is ever lost, replication is restored after faults
+// heal, and no operation wedges past its deadline.
+
+const (
+	chaosProviders   = 6
+	chaosWriters     = 2
+	chaosRounds      = 10
+	chaosPayloadSize = 64 << 10
+	chaosHorizon     = 45 * time.Second
+	chaosEvents      = 10
+	// chaosOpDeadline bounds one create+write+commit round in modeled time;
+	// retries and failovers must converge well inside it.
+	chaosOpDeadline = 5 * time.Minute
+)
+
+// chaosAck is one acknowledged commit: the path and the payload checksum
+// the cluster promised to keep.
+type chaosAck struct {
+	path string
+	sum  [sha256.Size]byte
+}
+
+func chaosPayload(seed int64, writer, round int) []byte {
+	rng := rand.New(rand.NewSource(seed ^ int64(writer)<<32 ^ int64(round)<<16))
+	b := make([]byte, chaosPayloadSize)
+	rng.Read(b)
+	return b
+}
+
+func TestChaosSeeded(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+		}
+		seeds = []int64{v}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Logf("chaos seed %d (rerun with CHAOS_SEED=%d)", seed, seed)
+			runChaos(t, seed)
+		})
+	}
+}
+
+func runChaos(t *testing.T, seed int64) {
+	c, err := New(Options{
+		Providers: chaosProviders,
+		Scale:     0.001,
+		Sizing:    layout.Sizing{Unit: 4096, Max: 512, Base: 8, Period: 8},
+		Net:       simnet.Config{CallTimeout: 2 * time.Second, FaultSeed: seed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	if err := c.AwaitStable(chaosProviders, 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	tuned := func(cfg *core.Config) {
+		cfg.CallTimeout = 5 * time.Second
+		cfg.Retry = core.RetryPolicy{MaxAttempts: 4, Backoff: 100 * time.Millisecond, MaxBackoff: time.Second}
+	}
+	writers := make([]*core.Client, chaosWriters)
+	for i := range writers {
+		cl, err := c.NewClientCfg(fmt.Sprintf("w%d", i), tuned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.WaitForProviders(chaosProviders, 2*time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Mkdir(fmt.Sprintf("/w%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		writers[i] = cl
+	}
+	reader, err := c.NewClientCfg("r0", tuned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reader.WaitForProviders(chaosProviders, 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		ackMu sync.Mutex
+		acked []chaosAck
+	)
+
+	var wg sync.WaitGroup
+	for i := 0; i < chaosWriters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := writers[i]
+			for r := 0; r < chaosRounds; r++ {
+				start := c.Clock.Now()
+				path := fmt.Sprintf("/w%d/f%02d", i, r)
+				payload := chaosPayload(seed, i, r)
+				attrs := wire.DefaultAttrs()
+				attrs.ReplDeg = 2
+				f, err := cl.Create(path, attrs)
+				if err != nil {
+					continue // faults may win; only acked data is promised
+				}
+				if _, err := f.WriteAt(payload, 0); err != nil {
+					f.Drop()
+					continue
+				}
+				if err := f.Close(); err != nil {
+					f.Drop()
+					continue
+				}
+				if took := c.Clock.Now() - start; took > chaosOpDeadline {
+					t.Errorf("writer %d round %d wedged for %v (deadline %v)", i, r, took, chaosOpDeadline)
+				}
+				ackMu.Lock()
+				acked = append(acked, chaosAck{path: path, sum: sha256.Sum256(payload)})
+				ackMu.Unlock()
+			}
+		}()
+	}
+
+	stopRead := make(chan struct{})
+	var readWG sync.WaitGroup
+	readWG.Add(1)
+	go func() {
+		defer readWG.Done()
+		rng := rand.New(rand.NewSource(seed + 7))
+		buf := make([]byte, chaosPayloadSize)
+		for {
+			select {
+			case <-stopRead:
+				return
+			default:
+			}
+			ackMu.Lock()
+			var pick chaosAck
+			if len(acked) > 0 {
+				pick = acked[rng.Intn(len(acked))]
+			}
+			ackMu.Unlock()
+			if pick.path == "" {
+				c.Clock.Sleep(500 * time.Millisecond)
+				continue
+			}
+			g, err := reader.Open(pick.path)
+			if err != nil {
+				continue // transient failures are allowed mid-fault
+			}
+			if _, err := g.ReadAt(buf, 0); err != nil && err != io.EOF {
+				continue
+			}
+			if sha256.Sum256(buf) != pick.sum {
+				t.Errorf("mid-chaos read of %s returned wrong content", pick.path)
+			}
+		}
+	}()
+
+	// Inject the seed-pinned schedule against the providers while the
+	// workload runs.
+	victims := make([]wire.NodeID, chaosProviders)
+	for i := range victims {
+		victims[i] = ProviderID(i)
+	}
+	sched := RandomFaultSchedule(seed, victims, chaosHorizon, chaosEvents)
+	for _, e := range sched.Events {
+		t.Logf("fault: %v", e)
+	}
+	if err := c.RunFaultSchedule(t.Context(), sched); err != nil {
+		t.Fatalf("fault schedule: %v", err)
+	}
+
+	wg.Wait()
+	close(stopRead)
+	readWG.Wait()
+
+	// Everything is repaired by the schedule runner; belt and braces.
+	c.Fabric.HealAllFaults()
+	if err := c.AwaitStable(chaosProviders, 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AwaitQuiesce(10 * time.Minute); err != nil {
+		for id, p := range c.Providers() {
+			for _, act := range p.RepairNeeds() {
+				t.Logf("%s stuck: seg=%v latest=%d owners=%v stale=%v deficit=%d source=%v",
+					id, act.Seg, act.Latest, act.CurrentOwners, act.Stale, act.Deficit, act.Source)
+			}
+		}
+		t.Fatalf("replication not restored after heal: %v", err)
+	}
+
+	// The durability contract: every acknowledged commit reads back intact.
+	ackMu.Lock()
+	final := append([]chaosAck(nil), acked...)
+	ackMu.Unlock()
+	if len(final) == 0 {
+		t.Fatal("no commit was ever acknowledged; chaos starved the workload")
+	}
+	buf := make([]byte, chaosPayloadSize)
+	for _, a := range final {
+		g, err := reader.Open(a.path)
+		if err != nil {
+			t.Errorf("acked file %s unreadable after heal: %v", a.path, err)
+			continue
+		}
+		if _, err := g.ReadAt(buf, 0); err != nil && err != io.EOF {
+			t.Errorf("acked file %s read failed after heal: %v", a.path, err)
+			continue
+		}
+		if sha256.Sum256(buf) != a.sum {
+			t.Errorf("acked file %s content lost", a.path)
+		}
+	}
+	t.Logf("chaos seed %d: %d/%d rounds acked and verified", seed, len(final), chaosWriters*chaosRounds)
+}
+
+// TestNamespaceWALRecoversAfterMidCommitCrash drives a commit whose 2PC
+// participant is killed mid-session, lets the retry/failover machinery land
+// the commit anyway, then rebuilds a namespace server from the same WAL and
+// checks the recovered tree agrees with the live one (satellite: WAL
+// crash-recovery round-trip).
+func TestNamespaceWALRecoversAfterMidCommitCrash(t *testing.T) {
+	wal := &namespace.MemWAL{}
+	c, err := New(Options{
+		Providers:    4,
+		Scale:        0.0005,
+		Sizing:       layout.Sizing{Unit: 4096, Max: 512, Base: 8, Period: 8},
+		NamespaceWAL: wal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	if err := c.AwaitStable(4, 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClientCfg("c1", func(cfg *core.Config) {
+		cfg.CallTimeout = 5 * time.Second
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WaitForProviders(4, 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	attrs := wire.DefaultAttrs()
+	attrs.ReplDeg = 2
+	f, err := cl.Create("/a", attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("version one"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AwaitQuiesce(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	// Open a second version and locate the replica holding the shadow, then
+	// crash that provider mid-commit.
+	w, err := cl.OpenWrite("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteAt([]byte("version two!"), 0); err != nil {
+		t.Fatal(err)
+	}
+	entry, err := cl.Stat("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim wire.NodeID
+	for id, p := range c.Providers() {
+		if p.Store().Stat(entry.FileID).Present {
+			victim = id
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no provider holds the index segment")
+	}
+	if err := c.KillProvider(victim); err != nil {
+		t.Fatal(err)
+	}
+	// The commit must survive the participant's death via retry + replica
+	// failover + journal replay.
+	if err := w.Close(); err != nil {
+		t.Fatalf("commit did not survive mid-commit crash: %v", err)
+	}
+
+	// Rebuild a namespace server from the same WAL — the crash-recovery
+	// round-trip — and compare the recovered entry with the live one.
+	ns2, err := namespace.NewServer(c.Clock, namespace.Config{}, wal)
+	if err != nil {
+		t.Fatalf("namespace recovery: %v", err)
+	}
+	live := c.NS.Lookup("/a")
+	rec := ns2.Lookup("/a")
+	if !live.OK || !rec.OK {
+		t.Fatalf("lookup: live ok=%v recovered ok=%v", live.OK, rec.OK)
+	}
+	if rec.Entry.Version != live.Entry.Version || rec.Entry.Size != live.Entry.Size ||
+		rec.Entry.FileID != live.Entry.FileID {
+		t.Fatalf("recovered entry %+v != live %+v", rec.Entry, live.Entry)
+	}
+	if live.Entry.Version != 2 {
+		t.Fatalf("live version = %d, want 2", live.Entry.Version)
+	}
+
+	// Bring the crashed provider back: it rejoins, resyncs, and the latest
+	// version stays readable.
+	if _, err := c.RestartProvider(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AwaitStable(4, 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	g, err := cl.Open("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 12)
+	if _, err := g.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("version two!")) {
+		t.Fatalf("content after recovery = %q", buf)
+	}
+}
+
+// TestAsymmetricPartitionMembership isolates a provider's inbound traffic
+// only: its own heartbeats still reach the cluster, so peers keep it live,
+// while the victim hears nobody and evicts every peer from its own view.
+// Healing the partition un-evicts them (satellite: membership under
+// asymmetric partition).
+func TestAsymmetricPartitionMembership(t *testing.T) {
+	c := testCluster(t, 4)
+	victim := ProviderID(0)
+	peer := c.Provider(ProviderID(1))
+	vp := c.Provider(victim)
+
+	c.Fabric.IsolateInbound(victim)
+
+	// Heartbeats expire after FailureFactor (5) × interval (1 s) of silence.
+	deadline := c.Clock.Now() + 2*time.Minute
+	for vp.Members().Len() > 1 {
+		if c.Clock.Now() > deadline {
+			t.Fatalf("victim still sees %d members; inbound isolation inert", vp.Members().Len())
+		}
+		c.Clock.Sleep(time.Second)
+	}
+	// The deaf node evicted its peers, but its outbound heartbeats kept
+	// flowing: the rest of the cluster never evicts it.
+	if n := peer.Members().Len(); n < 4 {
+		t.Fatalf("peer sees %d members; victim's outbound heartbeats were lost", n)
+	}
+
+	c.Fabric.HealNode(victim)
+	if err := c.AwaitStable(4, 2*time.Minute); err != nil {
+		t.Fatalf("membership did not recover after heal: %v", err)
+	}
+}

@@ -8,6 +8,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/namespace"
 	"repro/internal/obs"
 	"repro/internal/provider"
+	"repro/internal/segstore"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
 	"repro/internal/transport"
@@ -41,6 +43,10 @@ type Options struct {
 	Provider provider.Config
 	// Namespace tunes the namespace server.
 	Namespace namespace.Config
+	// NamespaceWAL backs the namespace server's metadata log. Nil runs
+	// without one; pass a namespace.MemWAL (or any WAL) to exercise
+	// crash-recovery of the metadata service.
+	NamespaceWAL namespace.WAL
 	// Sizing is the segment sizing used by clients (zero = paper default).
 	Sizing layout.Sizing
 	// Heartbeat overrides the membership heartbeat interval for all nodes.
@@ -79,8 +85,14 @@ type Cluster struct {
 	Fabric *simnet.Fabric
 	NS     *namespace.Server
 
+	mu        sync.Mutex
 	providers map[wire.NodeID]*provider.Provider
 	clients   []*core.Client
+	cfgs      map[wire.NodeID]provider.Config
+	// graves keeps the segment store of each crashed provider — the modeled
+	// equivalent of data surviving on disk across a machine crash — so
+	// RestartProvider can bring the node back with its contents intact.
+	graves map[wire.NodeID]*segstore.Store
 }
 
 // nsHandler adapts the namespace server to the transport.
@@ -99,7 +111,7 @@ func New(opts Options) (*Cluster, error) {
 	if opts.Obs != nil {
 		fabric.Instrument(opts.Obs)
 	}
-	ns, err := namespace.NewServer(clock, opts.Namespace, nil)
+	ns, err := namespace.NewServer(clock, opts.Namespace, opts.NamespaceWAL)
 	if err != nil {
 		return nil, err
 	}
@@ -115,6 +127,8 @@ func New(opts Options) (*Cluster, error) {
 		Fabric:    fabric,
 		NS:        ns,
 		providers: make(map[wire.NodeID]*provider.Provider),
+		cfgs:      make(map[wire.NodeID]provider.Config),
+		graves:    make(map[wire.NodeID]*segstore.Store),
 	}
 	for i := 0; i < opts.Providers; i++ {
 		if _, err := c.AddProvider(ProviderID(i)); err != nil {
@@ -135,6 +149,8 @@ func (c *Cluster) AddProvider(id wire.NodeID) (*provider.Provider, error) {
 // AddProviderCfg joins a provider with a per-node configuration tweak
 // (e.g. a rack label).
 func (c *Cluster) AddProviderCfg(id wire.NodeID, mutate func(*provider.Config)) (*provider.Provider, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, exists := c.providers[id]; exists {
 		return nil, fmt.Errorf("cluster: provider %s exists", id)
 	}
@@ -151,14 +167,21 @@ func (c *Cluster) AddProviderCfg(id wire.NodeID, mutate func(*provider.Config)) 
 	}
 	p.Start()
 	c.providers[id] = p
+	c.cfgs[id] = cfg
 	return p, nil
 }
 
 // Provider returns a running provider by ID (nil when absent or killed).
-func (c *Cluster) Provider(id wire.NodeID) *provider.Provider { return c.providers[id] }
+func (c *Cluster) Provider(id wire.NodeID) *provider.Provider {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.providers[id]
+}
 
 // Providers returns the running providers.
 func (c *Cluster) Providers() map[wire.NodeID]*provider.Provider {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make(map[wire.NodeID]*provider.Provider, len(c.providers))
 	for id, p := range c.providers {
 		out[id] = p
@@ -167,15 +190,48 @@ func (c *Cluster) Providers() map[wire.NodeID]*provider.Provider {
 }
 
 // KillProvider crashes a provider: it stops answering and its peers detect
-// the failure via missed heartbeats.
+// the failure via missed heartbeats. The node's segment store survives (as
+// data on disk would) and RestartProvider can bring it back.
 func (c *Cluster) KillProvider(id wire.NodeID) error {
+	c.mu.Lock()
 	p, ok := c.providers[id]
 	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("cluster: no provider %s", id)
 	}
-	p.Kill()
 	delete(c.providers, id)
+	c.graves[id] = p.Store()
+	c.mu.Unlock()
+	p.Kill()
 	return nil
+}
+
+// RestartProvider reboots a crashed provider with its on-disk contents
+// intact: committed segments survive, uncommitted shadows are discarded
+// (segstore.CrashRecover), and the fresh daemon re-announces itself so the
+// location layer resyncs any writes it missed while down.
+func (c *Cluster) RestartProvider(id wire.NodeID) (*provider.Provider, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	store, ok := c.graves[id]
+	if !ok {
+		return nil, fmt.Errorf("cluster: provider %s was not crashed", id)
+	}
+	cfg, ok := c.cfgs[id]
+	if !ok {
+		cfg = c.opts.Provider
+		cfg.Obs = c.opts.Obs
+	}
+	store.CrashRecover()
+	c.Fabric.Remove(id) // free the node ID left closed by Kill
+	p, err := provider.NewWithStore(id, c.Clock, cfg, c.Fabric, store)
+	if err != nil {
+		return nil, err
+	}
+	p.Start()
+	delete(c.graves, id)
+	c.providers[id] = p
+	return p, nil
 }
 
 // NewClient attaches a client running on its own machine.
@@ -206,12 +262,15 @@ func (c *Cluster) newClient(name string, host wire.NodeID) (*core.Client, error)
 }
 
 func (c *Cluster) newClientCfg(name string, host wire.NodeID, mutate func(*core.Config)) (*core.Client, error) {
+	c.mu.Lock()
+	nclients := len(c.clients)
+	c.mu.Unlock()
 	cfg := core.Config{
 		Namespace:  NamespaceNode,
 		Host:       host,
 		Sizing:     c.opts.Sizing,
 		Membership: c.opts.Provider.Membership,
-		Seed:       int64(len(c.clients) + 101),
+		Seed:       int64(nclients + 101),
 		Obs:        c.opts.Obs,
 	}
 	// At heavy time compression, a "5 modeled minutes" shadow lease is only
@@ -228,7 +287,9 @@ func (c *Cluster) newClientCfg(name string, host wire.NodeID, mutate func(*core.
 	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
 	c.clients = append(c.clients, cl)
+	c.mu.Unlock()
 	return cl, nil
 }
 
@@ -238,14 +299,14 @@ func (c *Cluster) AwaitStable(n int, timeout time.Duration) error {
 	deadline := c.Clock.Now() + timeout
 	for {
 		ok := true
-		for _, p := range c.providers {
+		for _, p := range c.Providers() {
 			if p.Members().Len() < n {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			for _, cl := range c.clients {
+			for _, cl := range c.Clients() {
 				if cl.Members().Len() < n {
 					ok = false
 					break
@@ -262,22 +323,31 @@ func (c *Cluster) AwaitStable(n int, timeout time.Duration) error {
 	}
 }
 
+// Clients returns the attached clients.
+func (c *Cluster) Clients() []*core.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*core.Client, len(c.clients))
+	copy(out, c.clients)
+	return out
+}
+
 // Stop shuts everything down.
 func (c *Cluster) Stop() {
-	for _, cl := range c.clients {
+	for _, cl := range c.Clients() {
 		cl.Close()
 	}
-	for _, p := range c.providers {
+	for _, p := range c.Providers() {
 		p.Stop()
 	}
 }
 
 // PendingRepairs sums the sync/repair actions outstanding across all
-// running providers' location tables.
+// running providers' home-host roles.
 func (c *Cluster) PendingRepairs() int {
 	n := 0
-	for _, p := range c.providers {
-		n += len(p.Table().Scan(p.Members().IsLive))
+	for _, p := range c.Providers() {
+		n += len(p.RepairNeeds())
 	}
 	return n
 }
@@ -299,7 +369,7 @@ func (c *Cluster) AwaitQuiesce(timeout time.Duration) error {
 // used to observe recovery progress in the failure experiment.
 func (c *Cluster) TotalReplicaCount() int {
 	n := 0
-	for _, p := range c.providers {
+	for _, p := range c.Providers() {
 		n += p.Store().Len()
 	}
 	return n
@@ -308,8 +378,9 @@ func (c *Cluster) TotalReplicaCount() int {
 // StorageUsedFracs returns each running provider's storage utilization —
 // the metric of Figure 14.
 func (c *Cluster) StorageUsedFracs() map[wire.NodeID]float64 {
-	out := make(map[wire.NodeID]float64, len(c.providers))
-	for id, p := range c.providers {
+	ps := c.Providers()
+	out := make(map[wire.NodeID]float64, len(ps))
+	for id, p := range ps {
 		out[id] = p.Store().Disk().UsedFrac()
 	}
 	return out

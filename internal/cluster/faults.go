@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// FaultKind enumerates the chaos actions a schedule can inject.
+type FaultKind string
+
+const (
+	// FaultPartition cuts a provider pair's link in both directions.
+	FaultPartition FaultKind = "partition"
+	// FaultLossy makes a link drop messages probabilistically and adds a
+	// latency spike to the ones that survive.
+	FaultLossy FaultKind = "lossy"
+	// FaultPause freezes a provider process (gray failure): it stops
+	// answering but never declares itself dead.
+	FaultPause FaultKind = "pause"
+	// FaultCrash kills a provider and later restarts it with its disk
+	// contents intact.
+	FaultCrash FaultKind = "crash"
+)
+
+// FaultEvent is one scheduled injection paired with its repair: the fault
+// activates at At (modeled time from schedule start) and is repaired at
+// At+For.
+type FaultEvent struct {
+	At   time.Duration
+	For  time.Duration
+	Kind FaultKind
+	// A is the victim node; B is the far end for link faults.
+	A, B wire.NodeID
+	// Drop and Extra parameterize FaultLossy.
+	Drop  float64
+	Extra time.Duration
+}
+
+func (e FaultEvent) String() string {
+	switch e.Kind {
+	case FaultPartition:
+		return fmt.Sprintf("%v+%v partition %s<->%s", e.At, e.For, e.A, e.B)
+	case FaultLossy:
+		return fmt.Sprintf("%v+%v lossy %s<->%s drop=%.2f extra=%v", e.At, e.For, e.A, e.B, e.Drop, e.Extra)
+	case FaultPause:
+		return fmt.Sprintf("%v+%v pause %s", e.At, e.For, e.A)
+	default:
+		return fmt.Sprintf("%v+%v %s %s", e.At, e.For, e.Kind, e.A)
+	}
+}
+
+// FaultSchedule is a deterministic chaos plan: the same seed and victim set
+// always produce the same schedule, so a failing run replays exactly.
+type FaultSchedule struct {
+	Seed   int64
+	Events []FaultEvent
+}
+
+// RandomFaultSchedule draws n fault events over the given modeled horizon
+// against the victim nodes. Crash and pause windows never overlap on the
+// same node, so every injection has a well-defined repair. Victims should
+// be storage providers only — partitioning or crashing the namespace server
+// is a different experiment.
+func RandomFaultSchedule(seed int64, victims []wire.NodeID, horizon time.Duration, n int) FaultSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []FaultKind{FaultPartition, FaultLossy, FaultPause, FaultCrash}
+	// busy tracks per-node [start, end) windows during which the node is
+	// crashed or paused.
+	busy := make(map[wire.NodeID][][2]time.Duration)
+	overlaps := func(id wire.NodeID, at, until time.Duration) bool {
+		for _, w := range busy[id] {
+			if at < w[1] && w[0] < until {
+				return true
+			}
+		}
+		return false
+	}
+	sched := FaultSchedule{Seed: seed}
+	for len(sched.Events) < n {
+		e := FaultEvent{
+			Kind: kinds[rng.Intn(len(kinds))],
+			At:   time.Duration(rng.Int63n(int64(horizon))),
+			For:  2*time.Second + time.Duration(rng.Int63n(int64(8*time.Second))),
+			A:    victims[rng.Intn(len(victims))],
+		}
+		switch e.Kind {
+		case FaultPartition, FaultLossy:
+			if len(victims) < 2 {
+				continue
+			}
+			for e.B == "" || e.B == e.A {
+				e.B = victims[rng.Intn(len(victims))]
+			}
+			if e.Kind == FaultLossy {
+				e.Drop = 0.2 + 0.6*rng.Float64()
+				e.Extra = time.Duration(rng.Int63n(int64(500 * time.Millisecond)))
+			}
+		case FaultPause, FaultCrash:
+			if overlaps(e.A, e.At, e.At+e.For) {
+				continue // re-roll instead of double-crashing a node
+			}
+			busy[e.A] = append(busy[e.A], [2]time.Duration{e.At, e.At + e.For})
+		}
+		sched.Events = append(sched.Events, e)
+	}
+	sort.Slice(sched.Events, func(i, j int) bool { return sched.Events[i].At < sched.Events[j].At })
+	return sched
+}
+
+// faultAction is one step of the flattened schedule timeline.
+type faultAction struct {
+	at     time.Duration
+	repair bool
+	ev     FaultEvent
+}
+
+// RunFaultSchedule injects the schedule against the cluster on the modeled
+// clock and repairs every fault it injected, returning once the timeline is
+// drained (or ctx is cancelled, in which case it still repairs everything
+// before returning). Crashed providers are restarted with their segment
+// stores intact via RestartProvider.
+func (c *Cluster) RunFaultSchedule(ctx context.Context, sched FaultSchedule) error {
+	timeline := make([]faultAction, 0, 2*len(sched.Events))
+	for _, e := range sched.Events {
+		timeline = append(timeline,
+			faultAction{at: e.At, ev: e},
+			faultAction{at: e.At + e.For, repair: true, ev: e})
+	}
+	sort.SliceStable(timeline, func(i, j int) bool { return timeline[i].at < timeline[j].at })
+
+	start := c.Clock.Now()
+	crashed := make(map[wire.NodeID]bool)
+	var firstErr error
+	for _, a := range timeline {
+		if wait := start + a.at - c.Clock.Now(); wait > 0 && ctx.Err() == nil {
+			select {
+			case <-ctx.Done():
+			case <-c.Clock.After(wait):
+			}
+		}
+		if ctx.Err() != nil && !a.repair {
+			continue // cancelled: stop injecting, but keep draining repairs
+		}
+		if err := c.applyFault(a, crashed); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (c *Cluster) applyFault(a faultAction, crashed map[wire.NodeID]bool) error {
+	e := a.ev
+	switch e.Kind {
+	case FaultPartition:
+		if a.repair {
+			c.Fabric.Heal(e.A, e.B)
+		} else {
+			c.Fabric.Partition(e.A, e.B)
+		}
+	case FaultLossy:
+		if a.repair {
+			c.Fabric.SetLinkFault(e.A, e.B, simnet.LinkFault{})
+		} else {
+			c.Fabric.SetLinkFault(e.A, e.B, simnet.LinkFault{DropProb: e.Drop, ExtraLatency: e.Extra})
+		}
+	case FaultPause:
+		if a.repair {
+			c.Fabric.Resume(e.A)
+		} else {
+			c.Fabric.Pause(e.A)
+		}
+	case FaultCrash:
+		if a.repair {
+			if !crashed[e.A] {
+				return nil
+			}
+			crashed[e.A] = false
+			if _, err := c.RestartProvider(e.A); err != nil {
+				return err
+			}
+		} else {
+			if err := c.KillProvider(e.A); err != nil {
+				return err
+			}
+			crashed[e.A] = true
+		}
+	}
+	return nil
+}

@@ -65,8 +65,18 @@ type Config struct {
 	Sizing layout.Sizing
 	// Membership tunes the client's provider view.
 	Membership membership.Config
-	// Seed seeds placement decisions.
+	// Seed seeds placement decisions and retry jitter.
 	Seed int64
+	// Retry governs transient-failure handling: per-RPC deadlines with
+	// exponential, seeded-jitter backoff on the modeled clock, read
+	// failover across replica sites, and 2PC abort-and-retry.
+	Retry RetryPolicy
+	// MaxCommitJournal caps the bytes of written data the client keeps
+	// per write session to make 2PC retryable: when a participant dies
+	// mid-commit, journaled writes are replayed onto freshly placed
+	// shadows. Sessions that exceed the cap fall back to fail-fast
+	// commits. Default 16 MiB.
+	MaxCommitJournal int64
 	// MaxParallelIO bounds the client's concurrent piece RPCs per file
 	// operation: striped reads/writes, shadow creation, commit rounds and
 	// segment deletion all fan out on at most this many workers. The
@@ -99,6 +109,10 @@ func (c Config) withDefaults() Config {
 	if c.MaxParallelIO <= 0 {
 		c.MaxParallelIO = 8
 	}
+	c.Retry = c.Retry.withDefaults()
+	if c.MaxCommitJournal <= 0 {
+		c.MaxCommitJournal = 16 << 20
+	}
 	return c
 }
 
@@ -114,11 +128,17 @@ type Client struct {
 	sessSeq  atomic.Uint64
 	nonceSeq atomic.Uint64
 
+	retry *retrier
+
 	// Metric handles, resolved once at construction (nil handles no-op).
 	commitLat       *obs.Histogram
 	commitsOK       *obs.Counter
 	commitConflicts *obs.Counter
 	probesSent      *obs.Counter
+	retries         *obs.Counter
+	failovers       *obs.Counter
+	commitRetries   *obs.Counter
+	commitAborts    *obs.Counter
 
 	mu     sync.Mutex
 	probes map[uint64]chan wire.LocProbeResp
@@ -137,6 +157,7 @@ func NewClient(name string, clock *simtime.Clock, network transport.Network, cfg
 		cfg:     cfg,
 		members: membership.NewManager(clock, cfg.Membership),
 		sel:     placement.NewSelector(cfg.Seed),
+		retry:   newRetrier(cfg.Seed),
 		probes:  make(map[uint64]chan wire.LocProbeResp),
 	}
 	if reg := cfg.Obs.Reg(); reg != nil {
@@ -145,6 +166,10 @@ func NewClient(name string, clock *simtime.Clock, network transport.Network, cfg
 		c.commitsOK = reg.Counter("sorrento_client_commits_total", node)
 		c.commitConflicts = reg.Counter("sorrento_client_commit_conflicts_total", node)
 		c.probesSent = reg.Counter("sorrento_client_probes_total", node)
+		c.retries = reg.Counter("sorrento_client_retries_total", node)
+		c.failovers = reg.Counter("sorrento_client_failovers_total", node)
+		c.commitRetries = reg.Counter("sorrento_client_commit_retries_total", node)
+		c.commitAborts = reg.Counter("sorrento_client_commit_aborts_total", node)
 		c.members.Instrument(reg, name)
 	}
 	var (

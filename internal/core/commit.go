@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/ids"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -73,7 +74,44 @@ func (f *File) Commit(opts CommitOptions) error {
 	return err
 }
 
+// runCommit drives the commit with abort-and-retry self-healing: a round
+// that loses a participant (timeout-class failure) is rolled back — shadows
+// aborted, commit window released — then the journaled writes are replayed
+// onto freshly placed or failed-over shadows and the whole round runs
+// again, with jittered backoff between attempts. Non-transient failures
+// (conflicts, application errors) and sessions whose journal overflowed
+// fail exactly as before.
 func (f *File) runCommit(ctx context.Context, opts CommitOptions, touched []ids.SegID) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = f.commitOnce(ctx, opts, touched)
+		if err == nil || attempt+1 >= f.c.cfg.Retry.MaxAttempts || !f.commitRetryable(err) {
+			return err
+		}
+		f.c.commitRetries.Inc()
+		if f.c.sleepBackoff(ctx, attempt) != nil {
+			return err
+		}
+		if rerr := f.replayJournal(ctx); rerr != nil {
+			return err
+		}
+	}
+}
+
+// commitRetryable reports whether a failed round is worth re-running: the
+// failure must be timeout-class (a died or partitioned participant) and
+// the journal must still cover every write of the session.
+func (f *File) commitRetryable(err error) bool {
+	if !isTransient(err) {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.journalOff
+}
+
+// commitOnce is one full commit round: window, 2PC, namespace record.
+func (f *File) commitOnce(ctx context.Context, opts CommitOptions, touched []ids.SegID) error {
 	// (7) Ask the namespace server for commit approval.
 	begin, err := f.commitBegin(ctx)
 	if err != nil {
@@ -82,6 +120,7 @@ func (f *File) runCommit(ctx context.Context, opts CommitOptions, touched []ids.
 
 	if err := f.commitBody(ctx, begin); err != nil {
 		// Roll everything back: prepared shadows and the commit window.
+		f.c.commitAborts.Inc()
 		f.abortAll()
 		f.c.nsCtx(ctx, wire.NSCommitAbort{FileID: f.entry.FileID, Path: f.path, Ticket: begin.Ticket})
 		return err
@@ -93,6 +132,10 @@ func (f *File) runCommit(ctx context.Context, opts CommitOptions, touched []ids.
 }
 
 func (f *File) commitBegin(ctx context.Context) (wire.NSCommitBeginResp, error) {
+	// Bound the wait on a blocked window so a crashed holder (or our own
+	// abandoned ticket from a round whose abort was lost) cannot wedge the
+	// commit: windows expire server-side, so the bounded wait resolves.
+	deadline := f.c.clock.Now() + f.c.cfg.CallTimeout
 	for {
 		resp, err := f.c.nsCtx(ctx, wire.NSCommitBegin{FileID: f.entry.FileID, Path: f.path, BaseVer: f.baseVer})
 		if err != nil {
@@ -108,6 +151,9 @@ func (f *File) commitBegin(ctx context.Context) (wire.NSCommitBeginResp, error) 
 		case r.Conflict:
 			return r, ErrConflict
 		case r.Blocked:
+			if f.c.clock.Now() > deadline {
+				return r, fmt.Errorf("core: commit window on %s blocked: %w", f.path, transport.ErrTimeout)
+			}
 			// Another process holds the commit window; wait briefly.
 			f.c.clock.Sleep(f.c.cfg.ProbeTimeout / 4)
 		default:
@@ -136,10 +182,13 @@ func (f *File) commitBody(ctx context.Context, begin wire.NSCommitBeginResp) err
 	// Phase one on data segments, one round-trip per participant in
 	// parallel: each worker collects its own response, results merge after
 	// the barrier so the shared map sees no concurrent writes.
+	// Prepare and commit RPCs ride the retry policy: same-owner re-prepare
+	// is idempotent on the participant, so a lost response is safe to
+	// resend.
 	prepared := make([]wire.Prepare2PCResp, len(nodes))
 	err := fanout(len(nodes), f.c.parallelism(), func(i int) error {
 		node := nodes[i]
-		resp, err := f.c.callCtx(ctx, node, wire.Prepare2PC{Owner: f.owner, Segs: byNode[node]})
+		resp, err := f.c.callRetry(ctx, node, wire.Prepare2PC{Owner: f.owner, Segs: byNode[node]})
 		if err != nil {
 			return err
 		}
@@ -192,7 +241,7 @@ func (f *File) commitBody(ctx context.Context, begin wire.NSCommitBeginResp) err
 
 	// Phase one on the index segment: its planned version is the file's
 	// next version.
-	resp, err := f.c.callCtx(ctx, indexNode, wire.Prepare2PC{Owner: f.owner, Segs: []ids.SegID{f.entry.FileID}})
+	resp, err := f.c.callRetry(ctx, indexNode, wire.Prepare2PC{Owner: f.owner, Segs: []ids.SegID{f.entry.FileID}})
 	if err != nil {
 		return err
 	}
@@ -206,7 +255,11 @@ func (f *File) commitBody(ctx context.Context, begin wire.NSCommitBeginResp) err
 	// segment last — its commit is what makes the new version reachable.
 	err = fanout(len(nodes), f.c.parallelism(), func(i int) error {
 		node := nodes[i]
-		resp, err := f.c.callCtx(ctx, node, wire.Commit2PC{Owner: f.owner, Segs: byNode[node]})
+		plannedVers := make([]uint64, len(byNode[node]))
+		for j, seg := range byNode[node] {
+			plannedVers[j] = planned[seg].ver
+		}
+		resp, err := f.c.callRetry(ctx, node, wire.Commit2PC{Owner: f.owner, Segs: byNode[node], Planned: plannedVers})
 		if err != nil {
 			return err
 		}
@@ -218,7 +271,7 @@ func (f *File) commitBody(ctx context.Context, begin wire.NSCommitBeginResp) err
 	if err != nil {
 		return err
 	}
-	resp, err = f.c.callCtx(ctx, indexNode, wire.Commit2PC{Owner: f.owner, Segs: []ids.SegID{f.entry.FileID}})
+	resp, err = f.c.callRetry(ctx, indexNode, wire.Commit2PC{Owner: f.owner, Segs: []ids.SegID{f.entry.FileID}, Planned: []uint64{newVer}})
 	if err != nil {
 		return err
 	}
@@ -238,13 +291,16 @@ func (f *File) commitBody(ctx context.Context, begin wire.NSCommitBeginResp) err
 		return fmt.Errorf("core: commit complete: %s", r.Err)
 	}
 
-	// Session state rolls forward onto the new version.
+	// Session state rolls forward onto the new version; the journal has
+	// served its purpose once the commit is acknowledged.
 	f.mu.Lock()
 	f.baseVer = newVer
 	f.entry.Version = newVer
 	f.dirty = make(map[ids.SegID]*dirtySeg)
 	f.indexDirty = false
 	f.owners = make(map[ids.SegID][]wire.OwnerInfo)
+	f.journal = nil
+	f.journalSize = 0
 	f.mu.Unlock()
 	return nil
 }
@@ -274,9 +330,18 @@ func (f *File) writeIndexShadow(ctx context.Context, encoded []byte) (wire.NodeI
 			if err != nil {
 				return "", err
 			}
-			node = orderOwners(owners, f.c.ep.Host())[0].Node
+			// Prefer a live owner so a commit retry after an index-site
+			// death lands on a surviving replica.
+			ordered := orderOwners(owners, f.c.ep.Host())
+			node = ordered[0].Node
+			for _, o := range ordered {
+				if f.c.members.IsLive(o.Node) {
+					node = o.Node
+					break
+				}
+			}
 		}
-		resp, err := f.c.callCtx(ctx, node, wire.SegShadow{
+		resp, err := f.c.callRetry(ctx, node, wire.SegShadow{
 			Owner:             f.owner,
 			Seg:               fid,
 			BaseVer:           0,
@@ -285,6 +350,7 @@ func (f *File) writeIndexShadow(ctx context.Context, encoded []byte) (wire.NodeI
 			LocalityThreshold: 0, // index segments follow reads, not locality policy
 		})
 		if err != nil {
+			f.dropCachedOwner(fid, node)
 			return "", err
 		}
 		if r, ok := resp.(wire.SegShadowResp); !ok || !r.OK {
@@ -294,14 +360,14 @@ func (f *File) writeIndexShadow(ctx context.Context, encoded []byte) (wire.NodeI
 		f.dirty[fid] = &dirtySeg{node: node, isNew: f.baseVer == 0}
 		f.mu.Unlock()
 	}
-	resp, err := f.c.callCtx(ctx, node, wire.SegWrite{Owner: f.owner, Seg: fid, Offset: 0, Data: encoded})
+	resp, err := f.c.callRetry(ctx, node, wire.SegWrite{Owner: f.owner, Seg: fid, Offset: 0, Data: encoded})
 	if err != nil {
 		return "", err
 	}
 	if r, ok := resp.(wire.SegWriteResp); !ok || !r.OK {
 		return "", fmt.Errorf("core: index write: %s", r.Err)
 	}
-	resp, err = f.c.callCtx(ctx, node, wire.SegTruncate{Owner: f.owner, Seg: fid, Size: int64(len(encoded))})
+	resp, err = f.c.callRetry(ctx, node, wire.SegTruncate{Owner: f.owner, Seg: fid, Size: int64(len(encoded))})
 	if err != nil {
 		return "", err
 	}
@@ -369,6 +435,7 @@ func (f *File) syncReplicas(refs []ids.SegID) {
 // path).
 func (f *File) Drop() {
 	f.abortAll()
+	f.clearJournal()
 	f.mu.Lock()
 	f.closed = true
 	f.mu.Unlock()

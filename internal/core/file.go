@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -38,6 +39,26 @@ type File struct {
 	owners     map[ids.SegID][]wire.OwnerInfo // owner cache for reads
 	segHome    map[ids.SegID]wire.NodeID      // direct-mode owner pin
 	closed     bool
+
+	// journal retains this session's data writes (bounded by
+	// Config.MaxCommitJournal) so a commit that loses a participant
+	// mid-2PC can abort, re-place the lost shadows, replay the writes,
+	// and try again. journalOff marks a session that outgrew the cap and
+	// reverted to fail-fast commits.
+	journal     map[ids.SegID]*segJournal
+	journalSize int64
+	journalOff  bool
+}
+
+// segJournal is the replayable write log for one data segment.
+type segJournal struct {
+	segIdx int
+	writes []jwrite
+}
+
+type jwrite struct {
+	off  int64
+	data []byte
 }
 
 // Create registers a new file with the given attributes and returns a
@@ -176,9 +197,13 @@ func (c *Client) readWhole(seg ids.SegID, ver uint64, cached []wire.OwnerInfo) (
 		resp, err := c.call(o.Node, wire.SegFetch{Seg: seg, Version: ver})
 		if err != nil {
 			lastErr = err
+			c.noteDead(o.Node, err)
 			continue
 		}
 		if r, ok := resp.(wire.SegFetchResp); ok && r.OK {
+			if lastErr != nil {
+				c.failovers.Inc()
+			}
 			return r.Data, owners, nil
 		}
 	}
@@ -355,6 +380,9 @@ func (f *File) readCommittedPiece(ref layout.SegRef, piece layout.Piece) ([]byte
 	// Home host: may serve directly or redirect (Figure 7 steps 2–3).
 	if home := f.c.members.HomeOf(ref.ID); home != "" {
 		resp, err := f.c.call(home, wire.SegRead{Seg: ref.ID, Version: ver, Offset: piece.Off, Length: piece.N})
+		if err != nil {
+			f.c.noteDead(home, err)
+		}
 		if err == nil {
 			if r, ok := resp.(wire.SegReadResp); ok && r.OK {
 				if !r.Redirect {
@@ -383,18 +411,47 @@ func (f *File) cacheOwner(seg ids.SegID, owners []wire.OwnerInfo) {
 	f.mu.Unlock()
 }
 
+// dropCachedOwner removes one failed node from a segment's cached owner
+// list, so the next read goes straight to the surviving replicas instead
+// of re-timing-out on the dead one.
+func (f *File) dropCachedOwner(seg ids.SegID, node wire.NodeID) {
+	f.mu.Lock()
+	cached := f.owners[seg]
+	kept := cached[:0]
+	for _, o := range cached {
+		if o.Node != node {
+			kept = append(kept, o)
+		}
+	}
+	if len(kept) == 0 {
+		delete(f.owners, seg)
+	} else {
+		f.owners[seg] = kept
+	}
+	f.mu.Unlock()
+}
+
+// tryOwnersRead reads one piece, failing over across the replica sites. A
+// site whose RPC fails is dropped from the owner cache on the spot (and,
+// on timeout, evicted from the membership view), so one dead replica costs
+// one timeout — not one per subsequent read.
 func (f *File) tryOwnersRead(owners []wire.OwnerInfo, seg ids.SegID, ver uint64, piece layout.Piece) ([]byte, error) {
 	var lastErr error
 	for _, o := range orderOwners(owners, f.c.ep.Host()) {
 		resp, err := f.c.call(o.Node, wire.SegRead{Seg: seg, Version: ver, Offset: piece.Off, Length: piece.N})
 		if err != nil {
 			lastErr = err
+			f.dropCachedOwner(seg, o.Node)
+			f.c.noteDead(o.Node, err)
 			continue
 		}
 		r, ok := resp.(wire.SegReadResp)
 		if !ok || !r.OK || r.Redirect {
 			lastErr = fmt.Errorf("core: read %s from %s: %s", seg.Short(), o.Node, r.Err)
 			continue
+		}
+		if lastErr != nil {
+			f.c.failovers.Inc()
 		}
 		return r.Data, nil
 	}
@@ -506,13 +563,16 @@ func (f *File) writeShadowRange(p []byte, off int64) (int, error) {
 			if err != nil {
 				return err
 			}
-			resp, err := f.c.call(node, wire.SegWrite{Owner: f.owner, Seg: j.ref.ID, Offset: j.piece.Off, Data: j.data})
+			// Shadow writes are absolute-offset and therefore idempotent;
+			// a lost response is safely retried.
+			resp, err := f.c.callRetry(context.Background(), node, wire.SegWrite{Owner: f.owner, Seg: j.ref.ID, Offset: j.piece.Off, Data: j.data})
 			if err != nil {
 				return err
 			}
 			if r, ok := resp.(wire.SegWriteResp); !ok || !r.OK {
 				return fmt.Errorf("core: write %s on %s: %s", j.ref.ID.Short(), node, r.Err)
 			}
+			f.journalWrite(j.piece.SegIdx, j.ref.ID, j.piece.Off, j.data)
 		}
 		return nil
 	})
@@ -520,6 +580,75 @@ func (f *File) writeShadowRange(p []byte, off int64) (int, error) {
 		return 0, err
 	}
 	return len(p), nil
+}
+
+// journalWrite retains a copy of one successful shadow write for commit
+// retry, until the session's cap is hit.
+func (f *File) journalWrite(segIdx int, seg ids.SegID, off int64, data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.journalOff {
+		return
+	}
+	if f.journalSize+int64(len(data)) > f.c.cfg.MaxCommitJournal {
+		f.journalOff = true
+		f.journal = nil
+		f.journalSize = 0
+		return
+	}
+	if f.journal == nil {
+		f.journal = make(map[ids.SegID]*segJournal)
+	}
+	js := f.journal[seg]
+	if js == nil {
+		js = &segJournal{segIdx: segIdx}
+		f.journal[seg] = js
+	}
+	js.writes = append(js.writes, jwrite{off: off, data: append([]byte(nil), data...)})
+	f.journalSize += int64(len(data))
+}
+
+func (f *File) clearJournal() {
+	f.mu.Lock()
+	f.journal = nil
+	f.journalSize = 0
+	f.mu.Unlock()
+}
+
+// replayJournal rebuilds the session's shadows after an aborted commit
+// round: every journaled segment gets a fresh shadow — placed away from
+// dead nodes, or failed over to a surviving replica site — and its writes
+// re-applied in original order.
+func (f *File) replayJournal(ctx context.Context) error {
+	f.mu.Lock()
+	segs := make([]ids.SegID, 0, len(f.journal))
+	for seg := range f.journal {
+		segs = append(segs, seg)
+	}
+	f.mu.Unlock()
+	return fanout(len(segs), f.c.parallelism(), func(i int) error {
+		seg := segs[i]
+		f.mu.Lock()
+		js := f.journal[seg]
+		ref := f.idx.Segs[js.segIdx]
+		segIdx := js.segIdx
+		writes := js.writes
+		f.mu.Unlock()
+		node, err := f.ensureShadow(ref, segIdx)
+		if err != nil {
+			return err
+		}
+		for _, w := range writes {
+			resp, err := f.c.callRetry(ctx, node, wire.SegWrite{Owner: f.owner, Seg: seg, Offset: w.off, Data: w.data})
+			if err != nil {
+				return err
+			}
+			if r, ok := resp.(wire.SegWriteResp); !ok || !r.OK {
+				return fmt.Errorf("core: replay write %s on %s: %s", seg.Short(), node, r.Err)
+			}
+		}
+		return nil
+	})
 }
 
 // ensureShadow opens (once) the shadow for a data segment, creating the
@@ -556,43 +685,81 @@ func (f *File) ensureShadow(ref layout.SegRef, segIdx int) (wire.NodeID, error) 
 }
 
 // openShadow places (for new segments) and opens a shadow copy, returning
-// the provider holding it.
+// the provider holding it. For an existing segment the shadow fails over
+// across the replica sites holding the newest version; a new segment whose
+// placed node won't answer is re-placed on an alternate.
 func (f *File) openShadow(ref layout.SegRef, segIdx int) (wire.NodeID, error) {
 	isNew := ref.Version == 0
-	var node wire.NodeID
+	var cands []wire.NodeID
 	if isNew {
 		// Potential maximum size per the sizing scheme (paper footnote 2).
 		// Data segments are placed purely by the file's policy; the
 		// home-host 3N bias applies to index segments (the paper's
 		// motivating "particular case"), where the extra hop dominates.
 		maxSize := f.idx.Sizing.SegmentSize(segIdx)
-		n, err := f.c.place(f.attrs, maxSize, "", false, nil)
-		if err != nil {
-			return "", err
+		exclude := make(map[wire.NodeID]bool)
+		for try := 0; try < 2; try++ {
+			n, err := f.c.place(f.attrs, maxSize, "", false, exclude)
+			if err != nil {
+				if len(cands) > 0 {
+					break // fewer candidates than tries; use what we have
+				}
+				return "", err
+			}
+			cands = append(cands, n)
+			exclude[n] = true
 		}
-		node = n
 	} else {
+		// Only replicas already at the version our index references can
+		// base the shadow correctly; a stale replica would fork history.
+		var maxVer uint64
 		owners, err := f.segOwners(ref.ID)
 		if err != nil {
 			return "", err
 		}
-		node = orderOwners(owners, f.c.ep.Host())[0].Node
+		for _, o := range owners {
+			if o.Version > maxVer {
+				maxVer = o.Version
+			}
+		}
+		for _, o := range orderOwners(owners, f.c.ep.Host()) {
+			if o.Version == maxVer && o.Version >= ref.Version {
+				cands = append(cands, o.Node)
+			}
+		}
+		if len(cands) == 0 {
+			return "", fmt.Errorf("%w: no current replica of %s", ErrUnlocatable, ref.ID.Short())
+		}
 	}
-	resp, err := f.c.call(node, wire.SegShadow{
-		Owner:             f.owner,
-		Seg:               ref.ID,
-		BaseVer:           0,
-		TTLSec:            f.c.cfg.ShadowTTL.Seconds(),
-		ReplDeg:           f.attrs.ReplDeg,
-		LocalityThreshold: f.attrs.LocalityThreshold,
-	})
-	if err != nil {
-		return "", err
+	var lastErr error
+	for i, node := range cands {
+		if i > 0 && !f.c.members.IsLive(node) {
+			continue // don't fail over onto a known-dead alternate
+		}
+		resp, err := f.c.call(node, wire.SegShadow{
+			Owner:             f.owner,
+			Seg:               ref.ID,
+			BaseVer:           0,
+			TTLSec:            f.c.cfg.ShadowTTL.Seconds(),
+			ReplDeg:           f.attrs.ReplDeg,
+			LocalityThreshold: f.attrs.LocalityThreshold,
+		})
+		if err != nil {
+			lastErr = err
+			f.dropCachedOwner(ref.ID, node)
+			f.c.noteDead(node, err)
+			continue
+		}
+		if r, ok := resp.(wire.SegShadowResp); !ok || !r.OK {
+			lastErr = fmt.Errorf("core: shadow %s on %s: %s", ref.ID.Short(), node, r.Err)
+			continue
+		}
+		if i > 0 {
+			f.c.failovers.Inc()
+		}
+		return node, nil
 	}
-	if r, ok := resp.(wire.SegShadowResp); !ok || !r.OK {
-		return "", fmt.Errorf("core: shadow %s on %s: %s", ref.ID.Short(), node, r.Err)
-	}
-	return node, nil
+	return "", lastErr
 }
 
 // renewStaleShadows resets the expiration timer of every shadow in this

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// RetryPolicy governs how the client handles transient RPC failures:
+// per-RPC deadlines come from Config.CallTimeout; failed attempts back off
+// exponentially with deterministic seeded jitter charged against the
+// modeled clock, so retry schedules replay exactly under a pinned seed.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per retryable operation
+	// (1 disables retries).
+	MaxAttempts int
+	// Backoff is the base delay before the second attempt; it doubles per
+	// attempt up to MaxBackoff.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 3
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = 200 * time.Millisecond
+	}
+	if r.MaxBackoff <= 0 {
+		r.MaxBackoff = 5 * time.Second
+	}
+	return r
+}
+
+// retrier holds the client's seeded jitter source.
+type retrier struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newRetrier(seed int64) *retrier {
+	if seed == 0 {
+		seed = 1
+	}
+	return &retrier{rng: rand.New(rand.NewSource(seed))}
+}
+
+// isTransient reports whether an RPC error is worth retrying: timeouts
+// (lost messages, dead or partitioned peers) and expired deadlines. Typed
+// application errors (conflict, not-found, ...) are not transient.
+func isTransient(err error) bool {
+	return errors.Is(err, transport.ErrTimeout) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// backoffDelay computes the jittered modeled delay before attempt+2.
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	d := c.cfg.Retry.Backoff << uint(attempt)
+	if d > c.cfg.Retry.MaxBackoff || d <= 0 {
+		d = c.cfg.Retry.MaxBackoff
+	}
+	c.retry.mu.Lock()
+	j := d/2 + time.Duration(c.retry.rng.Int63n(int64(d)))
+	c.retry.mu.Unlock()
+	return j
+}
+
+// sleepBackoff sleeps the jittered backoff for the given attempt on the
+// modeled clock, honoring ctx.
+func (c *Client) sleepBackoff(ctx context.Context, attempt int) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.clock.After(c.backoffDelay(attempt)):
+		return nil
+	}
+}
+
+// callRetry performs an idempotent RPC with the retry policy: each attempt
+// gets its own CallTimeout deadline; transient failures back off and retry.
+// After the final timeout the target is marked dead in the client's
+// membership view, so placement and home-host resolution stop routing to
+// it before heartbeat expiry catches up.
+func (c *Client) callRetry(ctx context.Context, to wire.NodeID, req any) (any, error) {
+	var resp any
+	var err error
+	for attempt := 0; attempt < c.cfg.Retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Inc()
+			if serr := c.sleepBackoff(ctx, attempt-1); serr != nil {
+				return nil, err
+			}
+		}
+		resp, err = c.callCtx(ctx, to, req)
+		if err == nil || !isTransient(err) {
+			return resp, err
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	c.noteDead(to, err)
+	return nil, err
+}
+
+// noteDead evicts a provider from the client's membership view after a
+// timeout-class failure. Heartbeat expiry would get there eventually; doing
+// it at the point of failure keeps placement and failover from re-selecting
+// a node we just watched die.
+func (c *Client) noteDead(node wire.NodeID, err error) {
+	if node == "" || node == c.cfg.Namespace || !errors.Is(err, transport.ErrTimeout) {
+		return
+	}
+	c.members.MarkDead(node)
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/ids"
 	"repro/internal/segstore"
 	"repro/internal/wire"
 )
@@ -258,8 +259,16 @@ func (p *Provider) handleCommit(m wire.Commit2PC) wire.GenericResp {
 	p.pm.commit2PC.Inc()
 	start := p.clock.Now()
 	defer func() { p.pm.commitLat.ObserveDuration(p.clock.Now() - start) }()
-	for _, seg := range m.Segs {
+	for i, seg := range m.Segs {
 		if _, _, err := p.store.CommitPrepared(m.Owner, seg); err != nil {
+			// Idempotent retry: when the shadow is gone but the segment has
+			// already reached the planned version, an earlier attempt's
+			// commit landed and only its response was lost — acknowledge.
+			if i < len(m.Planned) && m.Planned[i] != 0 &&
+				(errors.Is(err, segstore.ErrNoShadow) || errors.Is(err, segstore.ErrNotFound) || errors.Is(err, segstore.ErrUnprepared)) &&
+				p.store.Stat(seg).Version >= m.Planned[i] {
+				continue
+			}
 			return wire.GenericResp{Err: fmt.Sprintf("commit %s: %v", seg.Short(), err)}
 		}
 		// Fast-path location update: the segment's version advanced
@@ -284,6 +293,13 @@ func (p *Provider) handleSync(m wire.SyncNotify) wire.GenericResp {
 	p.charge()
 	st := p.store.Stat(m.Seg)
 	if !st.Present || st.Version >= m.Version {
+		if st.Present {
+			// Already current yet the home still thinks we're stale: our
+			// last location announcement was lost (e.g. to a partition).
+			// Re-announce, or the home re-notifies every repair scan until
+			// the next full refresh — a 15-minute livelock.
+			p.notifyHomeSync(m.Seg)
+		}
 		return wire.GenericResp{OK: true} // nothing to do
 	}
 	return p.pullSegment(m.Seg, m.Version, m.Source, 0, 0)
@@ -293,16 +309,27 @@ func (p *Provider) handleSync(m wire.SyncNotify) wire.GenericResp {
 func (p *Provider) handleReplicate(m wire.ReplicateNotify) wire.GenericResp {
 	p.charge()
 	if st := p.store.Stat(m.Seg); st.Present && st.Version >= m.Version {
+		// The home chose us as a new replica site because it does not know
+		// we already hold the segment; re-announce so the deficit clears.
+		p.notifyHomeSync(m.Seg)
 		return wire.GenericResp{OK: true}
 	}
 	return p.pullSegment(m.Seg, m.Version, m.Source, m.ReplDeg, m.LocalityThreshold)
 }
 
+// maxPullAttempts bounds how many times a replica pull is retried across
+// alternate sources before giving up and leaving the segment to the next
+// repair scan.
+const maxPullAttempts = 3
+
 // pullSegment brings the local replica up to the source's latest version:
 // delta sync when a local base version exists (paper §3.6: replicas
 // "retrieve the updates"), full fetch otherwise. Concurrent pulls of the
 // same segment are coalesced — repair scans re-notify long before a big
-// transfer finishes, and duplicate fetches would melt the links.
+// transfer finishes, and duplicate fetches would melt the links. A failed
+// pull is retried with backoff, rotating across the other live replica
+// sites the location table knows about, so a source that crashed between
+// notify and fetch does not wedge recovery.
 func (p *Provider) pullSegment(seg [16]byte, ver uint64, source wire.NodeID, replDeg int, locThresh float64) wire.GenericResp {
 	p.mu.Lock()
 	if p.pulling[seg] {
@@ -321,6 +348,52 @@ func (p *Provider) pullSegment(seg [16]byte, ver uint64, source wire.NodeID, rep
 	p.pullSem <- struct{}{}
 	defer func() { <-p.pullSem }()
 
+	sources := p.pullSources(seg, source)
+	var last wire.GenericResp
+	for attempt := 0; attempt < maxPullAttempts; attempt++ {
+		last = p.pullFrom(seg, sources[attempt%len(sources)], replDeg, locThresh)
+		if last.OK {
+			return last
+		}
+		if attempt+1 < maxPullAttempts {
+			p.pm.pullRetries.Inc()
+			if !p.sleepBackoff(attempt) {
+				return last // stopping
+			}
+		}
+	}
+	return last
+}
+
+// pullSources orders candidate fetch sources: the notified source first,
+// then any other live owners the location table knows for the segment.
+func (p *Provider) pullSources(seg ids.SegID, primary wire.NodeID) []wire.NodeID {
+	sources := []wire.NodeID{primary}
+	for _, o := range p.table.Owners(seg) {
+		if o.Node != primary && o.Node != p.id && p.members.IsLive(o.Node) {
+			sources = append(sources, o.Node)
+		}
+	}
+	return sources
+}
+
+// sleepBackoff sleeps an exponentially growing, seeded-jittered modeled
+// delay between pull attempts. Returns false when the provider is stopping.
+func (p *Provider) sleepBackoff(attempt int) bool {
+	base := 250 * time.Millisecond << uint(attempt)
+	p.mu.Lock()
+	d := base/2 + time.Duration(p.rng.Int63n(int64(base)))
+	p.mu.Unlock()
+	select {
+	case <-p.stop:
+		return false
+	case <-p.clock.After(d):
+		return true
+	}
+}
+
+// pullFrom is one pull attempt against one source.
+func (p *Provider) pullFrom(seg ids.SegID, source wire.NodeID, replDeg int, locThresh float64) wire.GenericResp {
 	local := p.store.Stat(seg)
 	if local.Present && local.Version > 0 {
 		resp, err := p.call(source, wire.SegFetchDelta{Seg: seg, HaveVer: local.Version})

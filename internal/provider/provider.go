@@ -133,6 +133,7 @@ type providerMetrics struct {
 	locMisses    *obs.Counter
 	pullsDelta   *obs.Counter
 	pullsFull    *obs.Counter
+	pullRetries  *obs.Counter
 	migrIOLoad   *obs.Counter
 	migrSpace    *obs.Counter
 	migrLocality *obs.Counter
@@ -158,6 +159,7 @@ func (p *Provider) instrument(d *disk.Disk) {
 		locMisses:    reg.Counter("sorrento_provider_loc_queries_total", node, obs.L("result", "miss")),
 		pullsDelta:   reg.Counter("sorrento_provider_pulls_total", node, obs.L("kind", "delta")),
 		pullsFull:    reg.Counter("sorrento_provider_pulls_total", node, obs.L("kind", "full")),
+		pullRetries:  reg.Counter("sorrento_provider_pull_retries_total", node),
 		migrIOLoad:   reg.Counter("sorrento_provider_migrations_total", node, obs.L("trigger", "ioload")),
 		migrSpace:    reg.Counter("sorrento_provider_migrations_total", node, obs.L("trigger", "space")),
 		migrLocality: reg.Counter("sorrento_provider_migrations_total", node, obs.L("trigger", "locality")),
@@ -175,6 +177,16 @@ func (p *Provider) instrument(d *disk.Disk) {
 // New constructs a provider on the given network. extraResources (e.g. the
 // node's NIC directions) are folded into the utilization it gossips.
 func New(id wire.NodeID, clock *simtime.Clock, cfg Config, network transport.Network, d *disk.Disk, extraResources ...*simtime.Resource) (*Provider, error) {
+	return NewWithStore(id, clock, cfg, network, segstore.New(clock, d), extraResources...)
+}
+
+// NewWithStore constructs a provider over an existing segment store — the
+// crash-restart path: the store (the node's disk contents) survives the
+// crash, and the restarted daemon re-announces, re-registers its segments,
+// and resyncs whatever it missed. Callers restarting over a store should
+// run store.CrashRecover() first to shed volatile shadow/2PC state.
+func NewWithStore(id wire.NodeID, clock *simtime.Clock, cfg Config, network transport.Network, store *segstore.Store, extraResources ...*simtime.Resource) (*Provider, error) {
+	d := store.Disk()
 	def := DefaultConfig()
 	if cfg.OpCost == 0 {
 		cfg.OpCost = def.OpCost
@@ -212,7 +224,7 @@ func New(id wire.NodeID, clock *simtime.Clock, cfg Config, network transport.Net
 		id:       id,
 		clock:    clock,
 		cfg:      cfg,
-		store:    segstore.New(clock, d),
+		store:    store,
 		table:    locate.NewTable(clock),
 		members:  membership.NewManager(clock, cfg.Membership),
 		selector: placement.NewSelector(cfg.Seed),
@@ -535,8 +547,26 @@ func (p *Provider) propagateSeg(seg ids.SegID) {
 
 // repairScan is the home-host maintenance pass: notify stale replicas to
 // sync and create new replicas for under-replicated segments (paper §3.6).
-func (p *Provider) repairScan() {
+// RepairNeeds returns the sync/repair actions this node is responsible for
+// as home host under its current membership view. Table records for
+// segments whose home role lies elsewhere are excluded: a node that
+// rejoined from a crash with a momentarily tiny view registers its segments
+// with itself, and repair-scanning those stale records livelocks — every
+// replica site already announces to the rightful home, never to us. The
+// rightful home repairs them; GarbageAge purges the stale records.
+func (p *Provider) RepairNeeds() []locate.SyncAction {
 	actions := p.table.Scan(p.members.IsLive)
+	out := actions[:0]
+	for _, act := range actions {
+		if p.homeOf(act.Seg) == p.id {
+			out = append(out, act)
+		}
+	}
+	return out
+}
+
+func (p *Provider) repairScan() {
+	actions := p.RepairNeeds()
 	budget := p.cfg.RepairBatch
 	for _, act := range actions {
 		if budget <= 0 {

@@ -399,6 +399,12 @@ func (st *Store) Prepare(owner string, seg ids.SegID) (plannedVer uint64, size i
 	if s.commitOwner != "" && s.commitOwner != owner {
 		return 0, 0, ErrPrepared
 	}
+	// Re-preparing an already-prepared shadow is idempotent (same planned
+	// version): a coordinator whose prepare response was lost can safely
+	// retry the whole round.
+	if sh.prepared {
+		return sh.planned, sh.size, nil
+	}
 	s.commitOwner = owner
 	sh.prepared = true
 	sh.planned = s.latest + 1
@@ -700,6 +706,26 @@ func (st *Store) ExpireShadows() int {
 				n++
 			}
 		}
+	}
+	return n
+}
+
+// CrashRecover models a provider restart over the same disk: committed
+// versions are durable and survive, while volatile state — open shadows,
+// prepared-but-uncommitted 2PC state, commit-slot locks — is lost. It
+// returns the number of shadow sessions discarded. Segments that existed
+// only as uncommitted shadows disappear entirely, exactly as an unflushed
+// file would.
+func (st *Store) CrashRecover() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, s := range st.segs {
+		for owner, sh := range s.shadows {
+			st.dropShadowLocked(s, owner, sh)
+			n++
+		}
+		s.commitOwner = ""
 	}
 	return n
 }

@@ -436,3 +436,67 @@ func TestDiskAccountingThroughCommitCycle(t *testing.T) {
 		t.Errorf("used after delete = %d", used)
 	}
 }
+
+func TestPrepareIdempotentForSameOwner(t *testing.T) {
+	st := newStore(t)
+	seg := ids.New()
+	st.Create(seg, []byte("base"), 1, 0, false)
+	st.Shadow("s1", seg, 1, time.Minute, 1, 0)
+	st.WriteShadow("s1", seg, 0, []byte("X"))
+	p1, _, err := st.Prepare("s1", seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A retried prepare (lost response) must return the same planned version.
+	p2, _, err := st.Prepare("s1", seg)
+	if err != nil || p2 != p1 {
+		t.Fatalf("re-prepare: v%d err %v, want v%d", p2, err, p1)
+	}
+	if _, _, err := st.CommitPrepared("s1", seg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashRecoverKeepsCommittedDropsVolatile(t *testing.T) {
+	st := newStore(t)
+	committed := ids.New()
+	st.Create(committed, []byte("durable"), 1, 0, false)
+
+	// An in-flight session: shadow on the committed segment, prepared.
+	st.Shadow("s1", committed, 1, time.Minute, 1, 0)
+	st.WriteShadow("s1", committed, 0, []byte("WIP"))
+	if _, _, err := st.Prepare("s1", committed); err != nil {
+		t.Fatal(err)
+	}
+	// A brand-new segment that exists only as a shadow.
+	fresh := ids.New()
+	st.Shadow("s1", fresh, 0, time.Minute, 1, 0)
+	st.WriteShadow("s1", fresh, 0, []byte("lost"))
+
+	used := st.Disk().Used()
+	if n := st.CrashRecover(); n != 2 {
+		t.Fatalf("CrashRecover dropped %d shadows, want 2", n)
+	}
+	if st.Disk().Used() >= used {
+		t.Fatalf("crash recovery freed no shadow space: %d -> %d", used, st.Disk().Used())
+	}
+
+	// Committed data survives at its committed version.
+	data, ver, err := st.Read(committed, 0, 0, 10)
+	if err != nil || ver != 1 || string(data) != "durable" {
+		t.Fatalf("after recover: %q v%d err %v", data, ver, err)
+	}
+	// The shadow-only segment is gone entirely.
+	if _, _, err := st.Read(fresh, 0, 0, 10); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("fresh segment err = %v, want ErrNotFound", err)
+	}
+	// The commit slot is free: a new session can prepare and commit.
+	st.Shadow("s2", committed, 1, time.Minute, 1, 0)
+	st.WriteShadow("s2", committed, 0, []byte("next"))
+	if _, _, err := st.Prepare("s2", committed); err != nil {
+		t.Fatalf("post-recovery prepare: %v", err)
+	}
+	if _, _, err := st.CommitPrepared("s2", committed); err != nil {
+		t.Fatalf("post-recovery commit: %v", err)
+	}
+}

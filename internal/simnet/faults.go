@@ -1,0 +1,289 @@
+package simnet
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/simtime"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// This file is the fabric's deterministic fault-injection surface. Faults
+// are expressed at the host level (co-located endpoints share their host's
+// fate) and drive every failure mode of the paper's §4.3/§4.4 recovery
+// story plus the gray failures real clusters add on top:
+//
+//   - Partitions: a blocked link loses messages; callers observe the same
+//     CallTimeout a dead node produces. Blocks are unidirectional so
+//     asymmetric partitions (a node that can send heartbeats but not
+//     receive them) are expressible; Partition blocks both directions.
+//   - Message loss and latency spikes: per-link (or fabric-default) drop
+//     probability and added one-way delay, driven by a seeded RNG so a
+//     pinned seed replays the same loss pattern.
+//   - Pause/Resume: a paused host models a GC-stall-like gray failure. Its
+//     inbound and outbound messages wait for Resume up to CallTimeout and
+//     are lost past that, so short stalls only add latency while long
+//     stalls look like a crash until the node comes back on its own.
+//
+// Every injection and every fault-induced message loss is counted in the
+// instrumented registry (sorrento_net_faults_total), so experiments can
+// report exactly how much abuse a run absorbed.
+
+// LinkFault degrades one direction of a host pair's link.
+type LinkFault struct {
+	// DropProb is the probability in [0,1] that a message is lost.
+	DropProb float64
+	// ExtraLatency is added to the modeled one-way propagation delay.
+	ExtraLatency time.Duration
+}
+
+func (lf LinkFault) zero() bool { return lf.DropProb == 0 && lf.ExtraLatency == 0 }
+
+type linkKey struct{ from, to wire.NodeID }
+
+// faults holds the fabric's injected-fault state, guarded by its own mutex
+// so the data path never contends with topology (join/lookup) locking.
+type faults struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	blocked  map[linkKey]bool
+	links    map[linkKey]LinkFault
+	def      LinkFault
+	blockIn  map[wire.NodeID]bool
+	blockOut map[wire.NodeID]bool
+	paused   map[wire.NodeID]chan struct{}
+}
+
+func newFaults(seed int64) *faults {
+	if seed == 0 {
+		seed = 1
+	}
+	return &faults{
+		rng:      rand.New(rand.NewSource(seed)),
+		blocked:  make(map[linkKey]bool),
+		links:    make(map[linkKey]LinkFault),
+		blockIn:  make(map[wire.NodeID]bool),
+		blockOut: make(map[wire.NodeID]bool),
+		paused:   make(map[wire.NodeID]chan struct{}),
+	}
+}
+
+// SetFaultSeed reseeds the drop-decision RNG (deterministic replay).
+func (f *Fabric) SetFaultSeed(seed int64) {
+	f.flt.mu.Lock()
+	defer f.flt.mu.Unlock()
+	if seed == 0 {
+		seed = 1
+	}
+	f.flt.rng = rand.New(rand.NewSource(seed))
+}
+
+// BlockLink drops every message from -> to until HealLink.
+func (f *Fabric) BlockLink(from, to wire.NodeID) {
+	f.flt.mu.Lock()
+	f.flt.blocked[linkKey{from, to}] = true
+	f.flt.mu.Unlock()
+	f.countFault("inject_block")
+}
+
+// HealLink restores the from -> to direction.
+func (f *Fabric) HealLink(from, to wire.NodeID) {
+	f.flt.mu.Lock()
+	delete(f.flt.blocked, linkKey{from, to})
+	f.flt.mu.Unlock()
+	f.countFault("inject_heal")
+}
+
+// Partition blocks both directions between two hosts.
+func (f *Fabric) Partition(a, b wire.NodeID) {
+	f.BlockLink(a, b)
+	f.BlockLink(b, a)
+}
+
+// Heal restores both directions between two hosts.
+func (f *Fabric) Heal(a, b wire.NodeID) {
+	f.HealLink(a, b)
+	f.HealLink(b, a)
+}
+
+// IsolateNode cuts a host off in both directions from every other host,
+// present and future (fig13's partition fault uses it).
+func (f *Fabric) IsolateNode(id wire.NodeID) {
+	f.flt.mu.Lock()
+	f.flt.blockIn[id] = true
+	f.flt.blockOut[id] = true
+	f.flt.mu.Unlock()
+	f.countFault("inject_isolate")
+}
+
+// IsolateInbound makes a host deaf: it can still send (its heartbeats keep
+// flowing) but receives nothing — the asymmetric-partition case.
+func (f *Fabric) IsolateInbound(id wire.NodeID) {
+	f.flt.mu.Lock()
+	f.flt.blockIn[id] = true
+	f.flt.mu.Unlock()
+	f.countFault("inject_isolate_in")
+}
+
+// IsolateOutbound makes a host mute: it receives but nothing it sends
+// arrives (the complementary asymmetric case).
+func (f *Fabric) IsolateOutbound(id wire.NodeID) {
+	f.flt.mu.Lock()
+	f.flt.blockOut[id] = true
+	f.flt.mu.Unlock()
+	f.countFault("inject_isolate_out")
+}
+
+// HealNode clears a host's isolation flags.
+func (f *Fabric) HealNode(id wire.NodeID) {
+	f.flt.mu.Lock()
+	delete(f.flt.blockIn, id)
+	delete(f.flt.blockOut, id)
+	f.flt.mu.Unlock()
+	f.countFault("inject_heal")
+}
+
+// SetLinkFault applies loss/latency degradation to both directions between
+// two hosts; a zero LinkFault clears it.
+func (f *Fabric) SetLinkFault(a, b wire.NodeID, lf LinkFault) {
+	f.SetLinkFaultOneWay(a, b, lf)
+	f.SetLinkFaultOneWay(b, a, lf)
+}
+
+// SetLinkFaultOneWay degrades a single direction.
+func (f *Fabric) SetLinkFaultOneWay(from, to wire.NodeID, lf LinkFault) {
+	f.flt.mu.Lock()
+	if lf.zero() {
+		delete(f.flt.links, linkKey{from, to})
+	} else {
+		f.flt.links[linkKey{from, to}] = lf
+	}
+	f.flt.mu.Unlock()
+	f.countFault("inject_link_fault")
+}
+
+// SetDefaultLinkFault degrades every link without an explicit override —
+// a uniformly lossy or slow network.
+func (f *Fabric) SetDefaultLinkFault(lf LinkFault) {
+	f.flt.mu.Lock()
+	f.flt.def = lf
+	f.flt.mu.Unlock()
+	f.countFault("inject_default_fault")
+}
+
+// Pause stalls a host: its inbound and outbound messages wait for Resume
+// (up to CallTimeout, past which they are lost). Pausing a paused host is a
+// no-op.
+func (f *Fabric) Pause(id wire.NodeID) {
+	f.flt.mu.Lock()
+	if _, ok := f.flt.paused[id]; !ok {
+		f.flt.paused[id] = make(chan struct{})
+	}
+	f.flt.mu.Unlock()
+	f.countFault("inject_pause")
+}
+
+// Resume releases a paused host; messages waiting on the stall proceed.
+func (f *Fabric) Resume(id wire.NodeID) {
+	f.flt.mu.Lock()
+	if ch, ok := f.flt.paused[id]; ok {
+		close(ch)
+		delete(f.flt.paused, id)
+	}
+	f.flt.mu.Unlock()
+	f.countFault("inject_resume")
+}
+
+// Paused reports whether a host is currently stalled.
+func (f *Fabric) Paused(id wire.NodeID) bool {
+	f.flt.mu.Lock()
+	defer f.flt.mu.Unlock()
+	_, ok := f.flt.paused[id]
+	return ok
+}
+
+// HealAllFaults clears partitions, isolation, link degradation, and resumes
+// every paused host — the end-of-schedule cleanup chaos tests rely on.
+func (f *Fabric) HealAllFaults() {
+	f.flt.mu.Lock()
+	f.flt.blocked = make(map[linkKey]bool)
+	f.flt.links = make(map[linkKey]LinkFault)
+	f.flt.def = LinkFault{}
+	f.flt.blockIn = make(map[wire.NodeID]bool)
+	f.flt.blockOut = make(map[wire.NodeID]bool)
+	for id, ch := range f.flt.paused {
+		close(ch)
+		delete(f.flt.paused, id)
+	}
+	f.flt.mu.Unlock()
+	f.countFault("inject_heal_all")
+}
+
+// linkVerdict decides the fate of one message crossing from -> to: dropped
+// (partition or random loss) and/or delayed. Fault-induced drops are
+// counted by cause.
+func (f *Fabric) linkVerdict(from, to wire.NodeID) (drop bool, extra time.Duration) {
+	f.flt.mu.Lock()
+	if f.flt.blocked[linkKey{from, to}] || f.flt.blockOut[from] || f.flt.blockIn[to] {
+		f.flt.mu.Unlock()
+		f.countFault("drop_partition")
+		return true, 0
+	}
+	lf, ok := f.flt.links[linkKey{from, to}]
+	if !ok {
+		lf = f.flt.def
+	}
+	if lf.DropProb > 0 && f.flt.rng.Float64() < lf.DropProb {
+		f.flt.mu.Unlock()
+		f.countFault("drop_loss")
+		return true, 0
+	}
+	f.flt.mu.Unlock()
+	if lf.ExtraLatency > 0 {
+		f.countFault("latency_spike")
+	}
+	return false, lf.ExtraLatency
+}
+
+// awaitResume blocks while host is paused: until Resume, the caller's ctx
+// deadline, or CallTimeout — whichever comes first. Messages of a stall
+// longer than CallTimeout are lost, modeling overflowing queues in front of
+// a wedged process.
+func (f *Fabric) awaitResume(ctx context.Context, host wire.NodeID) error {
+	f.flt.mu.Lock()
+	ch, ok := f.flt.paused[host]
+	f.flt.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	f.countFault("pause_wait")
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-f.clock.After(f.cfg.CallTimeout):
+		return transport.ErrTimeout
+	}
+}
+
+// countFault increments the instrumented fault counter; a no-op on an
+// uninstrumented fabric. Fault events are rare relative to data traffic, so
+// the registry lookup per event is fine.
+func (f *Fabric) countFault(kind string) {
+	if o := f.obs.Load(); o != nil {
+		o.Reg().Counter("sorrento_net_faults_total", obs.L("kind", kind)).Inc()
+	}
+}
+
+// sleepExtra applies a latency spike, honoring the caller's deadline.
+func (f *Fabric) sleepExtra(ctx context.Context, extra time.Duration) error {
+	if extra <= 0 {
+		return nil
+	}
+	return simtime.WaitUntilCtx(ctx, time.Now().Add(f.clock.Wall(extra)))
+}

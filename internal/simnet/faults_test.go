@@ -1,0 +1,221 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// faultFabric builds a fast fabric with a short CallTimeout so lost
+// messages fail quickly.
+func faultFabric(t *testing.T) *Fabric {
+	t.Helper()
+	cfg := FastEthernet()
+	cfg.CallTimeout = 200 * time.Millisecond
+	return New(simtime.NewClock(0.01), cfg)
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	f := faultFabric(t)
+	a, err := f.Join("a", &echoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Join("b", &echoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f.Partition("a", "b")
+	if _, err := a.Call(context.Background(), "b", wire.SegRead{}); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("partitioned call err = %v, want timeout", err)
+	}
+	if _, err := b.Call(context.Background(), "a", wire.SegRead{}); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("reverse partitioned call err = %v, want timeout", err)
+	}
+
+	f.Heal("a", "b")
+	if _, err := a.Call(context.Background(), "b", wire.SegRead{}); err != nil {
+		t.Fatalf("healed call err = %v", err)
+	}
+}
+
+func TestAsymmetricBlockLosesOnlyOneDirection(t *testing.T) {
+	f := faultFabric(t)
+	a, _ := f.Join("a", &echoHandler{})
+	b, _ := f.Join("b", &echoHandler{})
+
+	// a -> b blocked; b -> a still works.
+	f.BlockLink("a", "b")
+	if _, err := a.Call(context.Background(), "b", wire.SegRead{}); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("blocked direction err = %v, want timeout", err)
+	}
+	// b's request reaches a, but a's *response* crosses a->b and is lost.
+	if _, err := b.Call(context.Background(), "a", wire.SegRead{}); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("response over blocked link err = %v, want timeout", err)
+	}
+	f.HealLink("a", "b")
+	if _, err := b.Call(context.Background(), "a", wire.SegRead{}); err != nil {
+		t.Fatalf("healed err = %v", err)
+	}
+}
+
+func TestIsolateInboundKeepsMulticastFlowing(t *testing.T) {
+	f := faultFabric(t)
+	deaf := &echoHandler{}
+	other := &echoHandler{}
+	a, _ := f.Join("a", deaf)
+	b, _ := f.Join("b", other)
+	_ = b
+
+	f.IsolateInbound("a")
+	// a can still send: its multicast reaches b.
+	a.Multicast(wire.Heartbeat{From: "a"})
+	deadline := time.Now().Add(2 * time.Second)
+	for other.castCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("deaf node's outbound multicast never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...but nothing reaches a.
+	b.Multicast(wire.Heartbeat{From: "b"})
+	time.Sleep(50 * time.Millisecond)
+	if n := deaf.castCount(); n != 0 {
+		t.Fatalf("deaf node received %d casts, want 0", n)
+	}
+	if _, err := b.Call(context.Background(), "a", wire.SegRead{}); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("call to deaf node err = %v, want timeout", err)
+	}
+}
+
+func TestDropProbabilityIsSeededAndHealable(t *testing.T) {
+	f := faultFabric(t)
+	a, _ := f.Join("a", &echoHandler{})
+	if _, err := f.Join("b", &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+
+	f.SetFaultSeed(42)
+	f.SetLinkFault("a", "b", LinkFault{DropProb: 1.0})
+	if _, err := a.Call(context.Background(), "b", wire.SegRead{}); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("lossy call err = %v, want timeout", err)
+	}
+	f.SetLinkFault("a", "b", LinkFault{}) // zero value clears
+	if _, err := a.Call(context.Background(), "b", wire.SegRead{}); err != nil {
+		t.Fatalf("after clearing err = %v", err)
+	}
+}
+
+func TestLatencySpikeDelaysCall(t *testing.T) {
+	cfg := FastEthernet()
+	cfg.CallTimeout = 10 * time.Second
+	clock := simtime.NewClock(0.01)
+	f := New(clock, cfg)
+	a, _ := f.Join("a", &echoHandler{})
+	if _, err := f.Join("b", &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+
+	base := clock.Now()
+	if _, err := a.Call(context.Background(), "b", wire.SegRead{}); err != nil {
+		t.Fatal(err)
+	}
+	fastRTT := clock.Now() - base
+
+	f.SetLinkFault("a", "b", LinkFault{ExtraLatency: time.Second})
+	base = clock.Now()
+	if _, err := a.Call(context.Background(), "b", wire.SegRead{}); err != nil {
+		t.Fatal(err)
+	}
+	slowRTT := clock.Now() - base
+	// Request + response each gain ~1 s of modeled delay.
+	if slowRTT < fastRTT+1500*time.Millisecond {
+		t.Fatalf("spiked RTT %v not ≫ base RTT %v", slowRTT, fastRTT)
+	}
+}
+
+func TestPauseResume(t *testing.T) {
+	cfg := FastEthernet()
+	cfg.CallTimeout = 30 * time.Second
+	clock := simtime.NewClock(0.01)
+	f := New(clock, cfg)
+	a, _ := f.Join("a", &echoHandler{})
+	if _, err := f.Join("b", &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+
+	f.Pause("b")
+	if !f.Paused("b") {
+		t.Fatal("b not paused")
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Call(context.Background(), "b", wire.SegRead{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("call to paused node returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	f.Resume("b")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("call after resume err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call never completed after resume")
+	}
+}
+
+func TestPausePastCallTimeoutLosesRequest(t *testing.T) {
+	f := faultFabric(t) // CallTimeout 200 ms modeled = 2 ms wall
+	a, _ := f.Join("a", &echoHandler{})
+	if _, err := f.Join("b", &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	f.Pause("b")
+	if _, err := a.Call(context.Background(), "b", wire.SegRead{}); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("stalled call err = %v, want timeout", err)
+	}
+	f.HealAllFaults()
+	if f.Paused("b") {
+		t.Fatal("HealAllFaults left b paused")
+	}
+	if _, err := a.Call(context.Background(), "b", wire.SegRead{}); err != nil {
+		t.Fatalf("after heal err = %v", err)
+	}
+}
+
+func TestCtxDeadlineBoundsQueueWait(t *testing.T) {
+	// A huge message from a saturated sender must not pin a caller whose
+	// ctx deadline has passed: the wait is bounded by ctx, not by the
+	// transfer's modeled duration.
+	cfg := FastEthernet()
+	cfg.Bandwidth = 1e4 // 10 KB/s: a 1 MB payload takes ~100 s modeled
+	cfg.CallTimeout = 10 * time.Minute
+	clock := simtime.NewClock(1) // no compression: modeled = wall
+	f := New(clock, cfg)
+	a, _ := f.Join("a", &echoHandler{})
+	if _, err := f.Join("b", &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := a.Call(ctx, "b", wire.SegWrite{Data: make([]byte, 1<<20)})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("ctx-bounded wait took %v", took)
+	}
+}

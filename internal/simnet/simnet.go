@@ -32,6 +32,9 @@ type Config struct {
 	Latency time.Duration
 	// CallTimeout is how long a call to a dead node blocks before failing.
 	CallTimeout time.Duration
+	// FaultSeed seeds the fault layer's drop decisions (0 = 1), so a
+	// pinned seed replays the same loss pattern. See faults.go.
+	FaultSeed int64
 }
 
 // FastEthernet returns the paper's network: 100 Mb/s links, ~100 µs one-way
@@ -49,6 +52,7 @@ type Fabric struct {
 	clock *simtime.Clock
 	cfg   Config
 	obs   atomic.Pointer[obs.Obs]
+	flt   *faults
 
 	mu    sync.RWMutex
 	nodes map[wire.NodeID]*endpoint
@@ -62,7 +66,7 @@ func New(clock *simtime.Clock, cfg Config) *Fabric {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = FastEthernet().CallTimeout
 	}
-	return &Fabric{clock: clock, cfg: cfg, nodes: make(map[wire.NodeID]*endpoint)}
+	return &Fabric{clock: clock, cfg: cfg, flt: newFaults(cfg.FaultSeed), nodes: make(map[wire.NodeID]*endpoint)}
 }
 
 // Clock returns the fabric's clock.
@@ -213,20 +217,40 @@ func (e *endpoint) call(ctx context.Context, to wire.NodeID, req any) (any, erro
 	if e.isClosed() {
 		return nil, transport.ErrClosed
 	}
-	dst := e.fabric.lookup(to)
+	f := e.fabric
+	// A paused (stalled) sender holds its outbound traffic until Resume.
+	if err := f.awaitResume(ctx, e.host); err != nil {
+		return nil, err
+	}
+	dst := f.lookup(to)
 	local := dst != nil && dst.nic == e.nic
 	if !local {
-		e.transfer(dst, req)
+		dstHost := to
+		if dst != nil {
+			dstHost = dst.host
+		}
+		// Request-direction faults: a partitioned or lossy link loses the
+		// message, which the caller observes exactly as a dead node.
+		drop, extra := f.linkVerdict(e.host, dstHost)
+		if drop {
+			return e.lostRequest(ctx)
+		}
+		if err := e.transfer(ctx, dst, req); err != nil {
+			return nil, err
+		}
+		if err := f.sleepExtra(ctx, extra); err != nil {
+			return nil, err
+		}
 	}
 	if dst == nil || dst.isClosed() {
 		// The destination is down: the request times out (paper §4.3:
 		// "requests issued to the failed node are all timed out").
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-e.fabric.clock.After(e.fabric.cfg.CallTimeout):
-			return nil, transport.ErrTimeout
-		}
+		return e.lostRequest(ctx)
+	}
+	// A paused destination sits on the request until it resumes; past
+	// CallTimeout the request is lost in its overflowing queues.
+	if err := f.awaitResume(ctx, dst.host); err != nil {
+		return nil, err
 	}
 	if dst.handler == nil {
 		return nil, transport.ErrNoHandler
@@ -236,7 +260,7 @@ func (e *endpoint) call(ctx context.Context, to wire.NodeID, req any) (any, erro
 	// caller's span, so this parents correctly for free).
 	sctx := ctx
 	var ssp *obs.Span
-	if o := e.fabric.obs.Load(); o != nil {
+	if o := f.obs.Load(); o != nil {
 		if _, traced := obs.FromContext(ctx); traced {
 			sctx, ssp = o.Tr().Start(ctx, string(dst.id), "serve:"+obs.MsgTypeName(req))
 		}
@@ -249,17 +273,34 @@ func (e *endpoint) call(ctx context.Context, to wire.NodeID, req any) (any, erro
 	}
 	// The destination may have died while serving; its response is lost.
 	if dst.isClosed() {
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-e.fabric.clock.After(e.fabric.cfg.CallTimeout):
-			return nil, transport.ErrTimeout
-		}
+		return e.lostRequest(ctx)
 	}
 	if !local {
-		dst.transfer(e, resp)
+		// Response-direction faults, checked independently so asymmetric
+		// partitions that opened mid-call still lose the answer.
+		drop, extra := f.linkVerdict(dst.host, e.host)
+		if drop {
+			return e.lostRequest(ctx)
+		}
+		if err := dst.transfer(ctx, e, resp); err != nil {
+			return nil, err
+		}
+		if err := f.sleepExtra(ctx, extra); err != nil {
+			return nil, err
+		}
 	}
 	return resp, nil
+}
+
+// lostRequest models a message that will never be answered: the caller
+// blocks until its own deadline or the transport's CallTimeout.
+func (e *endpoint) lostRequest(ctx context.Context) (any, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-e.fabric.clock.After(e.fabric.cfg.CallTimeout):
+		return nil, transport.ErrTimeout
+	}
 }
 
 // transferQuantum bounds one NIC reservation. Real links multiplex flows
@@ -296,7 +337,12 @@ const smallMsgTime = 10 * time.Millisecond
 // links: a huge replica transfer delays a small control message by at most
 // (flows × quantum), as TCP's per-packet sharing would, instead of
 // head-of-line-blocking it for the whole transfer.
-func (e *endpoint) transfer(dst *endpoint, msg any) {
+//
+// Queue waits honor ctx: a caller whose deadline passes while queued behind
+// a saturated NIC unblocks immediately with ctx.Err(). Quanta already
+// reserved stand — the bytes were (partially) transmitted — so aggregate
+// link occupancy stays conserved.
+func (e *endpoint) transfer(ctx context.Context, dst *endpoint, msg any) error {
 	total := e.fabric.transferTime(wire.SizeOf(msg))
 	if total <= smallMsgTime {
 		end := e.nic.send.ReservePriority(total)
@@ -305,9 +351,11 @@ func (e *endpoint) transfer(dst *endpoint, msg any) {
 				end = endRecv
 			}
 		}
-		simtime.WaitUntil(end)
+		if err := simtime.WaitUntilCtx(ctx, end); err != nil {
+			return err
+		}
 		e.fabric.clock.Sleep(e.fabric.cfg.Latency)
-		return
+		return nil
 	}
 	quantum := e.fabric.quantum()
 	for total > 0 {
@@ -322,9 +370,12 @@ func (e *endpoint) transfer(dst *endpoint, msg any) {
 				end = endRecv
 			}
 		}
-		simtime.WaitUntil(end)
+		if err := simtime.WaitUntilCtx(ctx, end); err != nil {
+			return err
+		}
 	}
 	e.fabric.clock.Sleep(e.fabric.cfg.Latency)
+	return nil
 }
 
 // Multicast implements transport.Endpoint. One transmission charges the
@@ -332,6 +383,12 @@ func (e *endpoint) transfer(dst *endpoint, msg any) {
 // once; delivery is asynchronous.
 func (e *endpoint) Multicast(msg any) {
 	if e.isClosed() {
+		return
+	}
+	// A paused sender's frames wait for Resume; a stall past CallTimeout
+	// loses them entirely — which is how a wedged provider misses its
+	// heartbeat deadlines and gets evicted.
+	if err := e.fabric.awaitResume(context.Background(), e.host); err != nil {
 		return
 	}
 	size := wire.SizeOf(msg)
@@ -352,12 +409,26 @@ func (e *endpoint) Multicast(msg any) {
 	e.fabric.mu.RUnlock()
 	for _, ep := range targets {
 		go func(ep *endpoint) {
-			e.fabric.clock.Sleep(e.fabric.cfg.Latency)
+			// Per-receiver fault check: partitions and loss apply to each
+			// delivery of the frame independently.
+			if ep.nic != e.nic {
+				drop, extra := e.fabric.linkVerdict(e.host, ep.host)
+				if drop {
+					return
+				}
+				e.fabric.clock.Sleep(e.fabric.cfg.Latency + extra)
+			} else {
+				e.fabric.clock.Sleep(e.fabric.cfg.Latency)
+			}
 			if ep.isClosed() || ep.handler == nil {
 				return
 			}
 			if ep.nic != e.nic {
 				simtime.WaitUntil(ep.nic.recv.ReservePriority(e.fabric.transferTime(size)))
+			}
+			// A paused receiver processes queued frames only after Resume.
+			if err := e.fabric.awaitResume(context.Background(), ep.host); err != nil {
+				return
 			}
 			ep.handler.HandleCast(e.host, msg)
 		}(ep)

@@ -14,6 +14,7 @@
 package simtime
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -191,6 +192,27 @@ func (r *Resource) ReservePriority(d time.Duration) time.Time {
 
 // WaitUntil blocks until the wall instant t with the wheel's precision.
 func WaitUntil(t time.Time) { sleepUntil(t) }
+
+// WaitUntilCtx blocks until the wall instant t or until ctx is done,
+// whichever comes first, returning ctx.Err() in the latter case. Queue waits
+// on saturated resources use it so a caller's deadline bounds the time spent
+// queued, not just the time spent being served.
+func WaitUntilCtx(ctx context.Context, t time.Time) error {
+	if !time.Now().Before(t) {
+		return nil
+	}
+	if ctx.Done() == nil {
+		sleepUntil(t)
+		return nil
+	}
+	ch := globalWheel.register(t)
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // reserve books d of service time and returns the wall time at which this
 // request completes.

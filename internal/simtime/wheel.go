@@ -56,6 +56,14 @@ func (w *wheel) wait(t time.Time) {
 	if !time.Now().Before(t) {
 		return
 	}
+	<-w.register(t)
+}
+
+// register enrolls a waiter for the wall instant t and returns the channel
+// the pacer closes when t passes. Callers that need to abandon the wait
+// (context cancellation) simply stop listening; the pacer still closes the
+// channel on schedule, which is free.
+func (w *wheel) register(t time.Time) <-chan struct{} {
 	ch := make(chan struct{})
 	w.mu.Lock()
 	heap.Push(&w.q, waiter{deadline: t, ch: ch})
@@ -73,7 +81,7 @@ func (w *wheel) wait(t time.Time) {
 		default:
 		}
 	}
-	<-ch
+	return ch
 }
 
 // pace wakes waiters as their deadlines pass, exiting when none remain.

@@ -499,10 +499,14 @@ type Prepare2PCResp struct {
 }
 
 // Commit2PC finalizes prepared shadows, making them the latest committed
-// versions.
+// versions. Planned[i] (when present) is the version Segs[i] was prepared
+// to become; it makes the commit idempotent — a participant that already
+// applied the commit but whose response was lost can recognize the retry
+// and acknowledge instead of failing with "no shadow".
 type Commit2PC struct {
-	Owner string
-	Segs  []ids.SegID
+	Owner   string
+	Segs    []ids.SegID
+	Planned []uint64
 }
 
 // Abort2PC rolls prepared shadows back and discards them.
