@@ -1,8 +1,9 @@
 # Developer entry points. `make check` is the tier-1 verification gate;
 # `make race` additionally proves the concurrent data path (piece fan-out,
-# parallel 2PC, buffer pooling) clean under the race detector.
+# parallel 2PC, buffer pooling) and the harness hot path (wire codec,
+# sharded timer wheel, per-link fabric state) clean under the race detector.
 
-RACE_PKGS := ./internal/core ./internal/segstore ./internal/provider ./internal/cluster
+RACE_PKGS := ./internal/core ./internal/segstore ./internal/provider ./internal/cluster ./internal/wire ./internal/simtime ./internal/simnet
 
 .PHONY: check build test vet race bench
 
@@ -23,3 +24,13 @@ race:
 # Parallel data-path microbenchmarks (modeled MB/s per stripe width).
 bench:
 	go test -run XXX -bench 'BenchmarkParallelStriped' -benchtime 3x .
+
+# Codec and fabric microbenchmarks (binary-vs-gob, parallel-pair scaling).
+bench-harness:
+	go test -run XXX -bench 'BenchmarkCodec' ./internal/wire
+	go test -run XXX -bench 'BenchmarkFabricParallelPairs' ./internal/simnet
+
+# Harness scaling sweep: CPU per modeled second, heartbeat keep-up, and
+# per-node control bytes at 128/256/512 providers → BENCH_harness.json.
+scale:
+	go run ./cmd/sorrento-bench -exp harness -metrics-out ''

@@ -6,9 +6,13 @@
 //	sorrento-bench -exp fig9            # one experiment
 //	sorrento-bench -exp all             # every experiment
 //	sorrento-bench -exp fig11 -quick    # reduced parameters (CI-sized)
+//	sorrento-bench -exp harness -providers 128,256,512
 //
 // Results print in the same rows/series the paper reports; EXPERIMENTS.md
-// records the paper-vs-measured comparison.
+// records the paper-vs-measured comparison. The harness experiment measures
+// the simulation substrate itself (CPU per modeled second, heartbeat
+// keep-up, per-node control bytes) across cluster sizes and writes
+// BENCH_harness.json; it is not part of -exp all.
 package main
 
 import (
@@ -16,6 +20,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -24,16 +32,60 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|all")
+	os.Exit(run())
+}
+
+func run() int {
+	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|harness|all")
 	quick := flag.Bool("quick", false, "reduced parameters (faster, noisier)")
 	obsOn := flag.Bool("obs", true, "instrument each run and write a metrics snapshot")
 	metricsOut := flag.String("metrics-out", ".", "directory for per-run <exp>-metrics.{json,prom} snapshots (empty disables)")
 	maxPar := flag.Int("maxparallel", 0, "override clients' MaxParallelIO fan-out width (0 = default)")
 	faults := flag.Bool("faults", false, "fig13: partition the victim instead of killing it (exercises retry/failover + resync)")
+	providers := flag.String("providers", "", "harness: comma-separated cluster sizes (default 128,256,512)")
+	benchOut := flag.String("bench-out", "BENCH_harness.json", "harness: output path for the sweep JSON (empty disables)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Parse()
 
 	bench.MaxParallelIO = *maxPar
 	fig13Faults = *faults
+	harnessOut = *benchOut
+	if *providers != "" {
+		sizes, err := parseSizes(*providers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-providers: %v\n", err)
+			return 2
+		}
+		harnessProviders = sizes
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	runners := map[string]func(bool) error{
 		"fig9":      runFig9,
@@ -44,6 +96,7 @@ func main() {
 		"fig14":     runFig14,
 		"fig15":     runFig15,
 		"ablations": runAblations,
+		"harness":   runHarness,
 	}
 	order := []string{"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablations"}
 
@@ -69,21 +122,35 @@ func main() {
 			fmt.Printf("=== %s ===\n", name)
 			if err := runOne(name, runners[name]); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println()
 		}
-		return
+		return 0
 	}
 	run, ok := runners[*exp]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
 	if err := runOne(*exp, run); err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", *exp, err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// parseSizes parses a comma-separated list of positive cluster sizes.
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad cluster size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // dumpMetrics writes the run's metrics snapshot next to the figure output,
@@ -216,6 +283,35 @@ func runFig15(quick bool) error {
 		return err
 	}
 	res.Report(os.Stdout)
+	return nil
+}
+
+// harnessProviders and harnessOut are set by -providers and -bench-out.
+var (
+	harnessProviders []int
+	harnessOut       string
+)
+
+func runHarness(quick bool) error {
+	p := bench.HarnessParams{Providers: harnessProviders}
+	if quick {
+		if harnessProviders == nil {
+			p.Providers = []int{32, 64, 128}
+		}
+		p.Scale.Time = 0.1
+		p.RunFor = 15 * time.Second
+	}
+	res, err := bench.RunHarness(p)
+	if err != nil {
+		return err
+	}
+	res.Report(os.Stdout)
+	if harnessOut != "" {
+		if err := res.WriteJSON(harnessOut); err != nil {
+			return fmt.Errorf("write %s: %w", harnessOut, err)
+		}
+		fmt.Printf("wrote %s\n", harnessOut)
+	}
 	return nil
 }
 

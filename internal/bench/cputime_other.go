@@ -1,0 +1,7 @@
+//go:build !unix
+
+package bench
+
+// processCPU is unavailable off unix; the harness benchmark falls back to
+// wall-clock-only reporting.
+func processCPU() (float64, bool) { return 0, false }

@@ -1,0 +1,21 @@
+//go:build unix
+
+package bench
+
+import "syscall"
+
+// processCPU returns the process's cumulative user+system CPU time in
+// seconds. The harness scaling benchmark reports CPU-seconds per modeled
+// second rather than wall-per-modeled: simtime's clock is defined as
+// wall×scale, so wall time tracks the scale factor by construction and
+// only CPU consumption reveals what the harness actually costs.
+func processCPU() (float64, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	sec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return sec(ru.Utime) + sec(ru.Stime), true
+}

@@ -1,0 +1,329 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+	"repro/internal/wire"
+)
+
+// HarnessParams configure the harness scaling benchmark: not a figure from
+// the paper but a measurement of the simulation substrate itself. Each
+// point builds a Sorrento deployment at one provider count, runs a steady
+// control-plane load (heartbeats, announce traffic from file writes, a
+// trickle of reads) with a mid-run provider kill/restart to trigger
+// repair, and records what the harness spends per modeled second.
+type HarnessParams struct {
+	// Scale defaults to Data=1 — unlike the figure experiments, the sweep
+	// must not scale data: dividing bandwidth by K inflates the modeled
+	// transfer time of fixed-size control messages by K, and at 128+
+	// providers the heartbeat fan-in alone would saturate every modeled
+	// NIC (127 senders × ~11 ms/frame > the 2 s interval at K=1024). A
+	// zero Time picks a per-point compression: 0.2 wall/modeled at ≤128
+	// providers, relaxing linearly with size so the n² heartbeat delivery
+	// work fits the host CPU budget; set Time explicitly to pin one
+	// compression across the sweep.
+	Scale Scale
+	// Providers lists the cluster sizes to sweep (default 128, 256, 512).
+	Providers []int
+	// RunFor is the measured window in modeled time per point.
+	RunFor time.Duration
+	// Heartbeat is the membership heartbeat interval.
+	Heartbeat time.Duration
+	// Files is the number of replicated files written before the window
+	// (their announce/2PC traffic is part of setup; their replicas are what
+	// the mid-run kill forces the cluster to repair).
+	Files int
+	// FileSize is the paper-sized bytes per file (scaled internally).
+	FileSize int64
+	// NoFaults skips the mid-run kill/restart.
+	NoFaults bool
+}
+
+func (p HarnessParams) withDefaults() HarnessParams {
+	if p.Scale.Data <= 0 {
+		p.Scale.Data = 1
+	}
+	if len(p.Providers) == 0 {
+		p.Providers = []int{128, 256, 512}
+	}
+	if p.RunFor <= 0 {
+		p.RunFor = 30 * time.Second
+	}
+	if p.Heartbeat <= 0 {
+		p.Heartbeat = 2 * time.Second
+	}
+	if p.Files <= 0 {
+		p.Files = 32
+	}
+	if p.FileSize <= 0 {
+		p.FileSize = 1 << 20
+	}
+	return p
+}
+
+// HarnessPoint is one cluster size's measurements.
+type HarnessPoint struct {
+	Providers  int     `json:"providers"`
+	ModeledSec float64 `json:"modeled_sec"`
+	// SetupWallSec covers cluster construction, stabilization, and the
+	// initial file writes; RunWallSec covers the measured window only.
+	SetupWallSec float64 `json:"setup_wall_sec"`
+	RunWallSec   float64 `json:"run_wall_sec"`
+	// CPUSec is process CPU (user+sys) consumed during the window;
+	// CPUPerModeledSec is the headline harness-cost metric (wall-per-modeled
+	// equals the scale factor by construction, so it reveals nothing).
+	CPUSec           float64 `json:"cpu_sec"`
+	CPUPerModeledSec float64 `json:"cpu_per_modeled_sec"`
+	// HeartbeatKeepUp is observed/expected heartbeat casts over the window.
+	// Below ~1.0 the harness is starving the membership tickers and the
+	// simulation is no longer faithful at this scale.
+	HeartbeatKeepUp float64 `json:"heartbeat_keepup"`
+	// CtlBytesPerNodeSec is control-plane bytes (every message type except
+	// the SegRead/SegWrite payload carriers) sent per provider per modeled
+	// second. O(cluster) growth across the sweep is healthy; O(n²) per node
+	// would mean the control plane does not scale.
+	CtlBytesPerNodeSec float64 `json:"ctl_bytes_per_node_sec"`
+	// TotalBytesPerSec is all wire bytes sent per modeled second.
+	TotalBytesPerSec float64 `json:"total_bytes_per_sec"`
+	// PendingRepairs is the repair backlog at window end (nonzero mid-drain
+	// is fine; it proves the kill generated repair traffic).
+	PendingRepairs int  `json:"pending_repairs"`
+	Faulted        bool `json:"faulted"`
+	// TimeScale is the wall-per-modeled compression this point ran at.
+	TimeScale float64 `json:"time_scale"`
+	// Error records a point that could not complete (e.g. the cluster never
+	// stabilized at this size under this compression); its metrics are zero.
+	Error string `json:"error,omitempty"`
+}
+
+// HarnessResult is the regenerated sweep.
+type HarnessResult struct {
+	ScaleData int64          `json:"scale_data"`
+	CPUKnown  bool           `json:"cpu_known"`
+	Points    []HarnessPoint `json:"points"`
+}
+
+// Report prints the sweep as a table.
+func (r *HarnessResult) Report(w io.Writer) {
+	fmt.Fprintf(w, "Harness scaling: wall-per-modeled is the time scale by construction; cost is CPU-sec per modeled-sec\n")
+	fmt.Fprintf(w, "%9s %6s %10s %10s %10s %12s %9s %14s %8s\n",
+		"providers", "scale", "modeled_s", "setup_s", "run_s", "cpu/model_s", "hb_keep", "ctlB/node/s", "repairs")
+	for _, pt := range r.Points {
+		if pt.Error != "" {
+			fmt.Fprintf(w, "%9d %6.2f ERROR %s\n", pt.Providers, pt.TimeScale, pt.Error)
+			continue
+		}
+		fmt.Fprintf(w, "%9d %6.2f %10.1f %10.1f %10.1f %12.3f %9.2f %14.0f %8d\n",
+			pt.Providers, pt.TimeScale, pt.ModeledSec, pt.SetupWallSec, pt.RunWallSec,
+			pt.CPUPerModeledSec, pt.HeartbeatKeepUp, pt.CtlBytesPerNodeSec, pt.PendingRepairs)
+	}
+	if !r.CPUKnown {
+		fmt.Fprintf(w, "(process CPU time unavailable on this platform; cpu columns are zero)\n")
+	}
+}
+
+// WriteJSON writes the sweep to path (BENCH_harness.json by convention).
+func (r *HarnessResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// timeScaleFor picks the wall-per-modeled compression for one point: an
+// explicit Scale.Time wins; otherwise 0.2 at ≤128 providers, relaxed
+// linearly with cluster size (heartbeat delivery work grows ~n² per
+// modeled second, so larger clusters need more wall time per modeled
+// second to stay faithful on a fixed CPU budget).
+func (p HarnessParams) timeScaleFor(providers int) float64 {
+	if p.Scale.Time > 0 {
+		return p.Scale.Time
+	}
+	t := 0.2 * float64(providers) / 128
+	if t < 0.2 {
+		t = 0.2
+	}
+	return t
+}
+
+// RunHarness runs the harness scaling sweep. A point that fails (e.g. the
+// cluster never stabilizes at that size) is recorded with its error and
+// the sweep continues.
+func RunHarness(p HarnessParams) (*HarnessResult, error) {
+	p = p.withDefaults()
+	res := &HarnessResult{ScaleData: p.Scale.Data, CPUKnown: true}
+	for _, n := range p.Providers {
+		ts := p.timeScaleFor(n)
+		fmt.Fprintf(os.Stderr, "harness: %d providers at scale %.2f...\n", n, ts)
+		pt, err := runHarnessPoint(p, n, ts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "harness: %d providers: %v\n", n, err)
+			pt = &HarnessPoint{Providers: n, TimeScale: ts, Error: err.Error()}
+		} else {
+			fmt.Fprintf(os.Stderr, "harness: %d providers done (setup %.0fs, run %.0fs wall)\n",
+				n, pt.SetupWallSec, pt.RunWallSec)
+		}
+		if pt.CPUSec == 0 {
+			if _, ok := processCPU(); !ok {
+				res.CPUKnown = false
+			}
+		}
+		res.Points = append(res.Points, *pt)
+	}
+	return res, nil
+}
+
+func runHarnessPoint(p HarnessParams, providers int, timeScale float64) (*HarnessPoint, error) {
+	scale := Scale{Time: timeScale, Data: p.Scale.Data}
+	o := obs.New(simtime.Real())
+	setupStart := time.Now()
+	env, err := NewSorrento(scale, SorrentoOptions{
+		Providers: providers,
+		ReplDeg:   2,
+		Heartbeat: p.Heartbeat,
+		Obs:       o,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	clock := env.Clock()
+
+	fs, err := env.NewFS(wire.FileAttrs{ReplDeg: 2, Alpha: 0.5})
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, p.Files)
+	payload := make([]byte, scale.Bytes(p.FileSize))
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/harness-%04d", i)
+		f, err := fs.Create(paths[i])
+		if err != nil {
+			return nil, err
+		}
+		if _, err := f.WriteAt(payload, 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	setupWall := time.Since(setupStart)
+
+	// Measured window: snapshot counters and CPU around it so setup noise
+	// (cluster construction, file creation 2PC) stays out of the numbers.
+	bytes0, casts0 := rpcTotals(o)
+	cpu0, cpuOK := processCPU()
+	runStart := time.Now()
+	sw := clock.Start()
+
+	// Background read trickle: steady client traffic that also exercises
+	// failover when the victim holds a replica.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 4096)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if f, err := fs.Open(paths[i%len(paths)]); err == nil {
+				f.ReadAt(buf, 0)
+				f.Close()
+			}
+			clock.Sleep(500 * time.Millisecond)
+		}
+	}()
+
+	victim := cluster.ProviderID(1)
+	third := p.RunFor / 3
+	clock.Sleep(third)
+	if !p.NoFaults {
+		if err := env.Cluster.KillProvider(victim); err != nil {
+			close(stop)
+			wg.Wait()
+			return nil, err
+		}
+	}
+	clock.Sleep(third)
+	if !p.NoFaults {
+		if _, err := env.Cluster.RestartProvider(victim); err != nil {
+			close(stop)
+			wg.Wait()
+			return nil, err
+		}
+	}
+	clock.Sleep(p.RunFor - 2*third)
+	close(stop)
+	wg.Wait()
+
+	modeled := sw.Elapsed()
+	runWall := time.Since(runStart)
+	cpu1, _ := processCPU()
+	bytes1, casts1 := rpcTotals(o)
+
+	pt := &HarnessPoint{
+		Providers:    providers,
+		ModeledSec:   modeled.Seconds(),
+		SetupWallSec: setupWall.Seconds(),
+		RunWallSec:   runWall.Seconds(),
+		Faulted:      !p.NoFaults,
+		TimeScale:    timeScale,
+	}
+	if cpuOK {
+		pt.CPUSec = cpu1 - cpu0
+		pt.CPUPerModeledSec = pt.CPUSec / modeled.Seconds()
+	}
+	expected := float64(providers) * modeled.Seconds() / p.Heartbeat.Seconds()
+	if expected > 0 {
+		pt.HeartbeatKeepUp = (casts1["Heartbeat"] - casts0["Heartbeat"]) / expected
+	}
+	var total, ctl float64
+	for typ, b := range bytes1 {
+		d := b - bytes0[typ]
+		total += d
+		// SegRead/SegWrite carry the data payloads; everything else is
+		// control plane (heartbeats, announces, namespace, 2PC, repair
+		// coordination).
+		if typ != "SegRead" && typ != "SegWrite" {
+			ctl += d
+		}
+	}
+	pt.TotalBytesPerSec = total / modeled.Seconds()
+	pt.CtlBytesPerNodeSec = ctl / float64(providers) / modeled.Seconds()
+	pt.PendingRepairs = env.Cluster.PendingRepairs()
+	return pt, nil
+}
+
+// rpcTotals sums the registry's per-node RPC series into per-message-type
+// totals: sent bytes (both roles) and cast counts.
+func rpcTotals(o *obs.Obs) (sentBytes, casts map[string]float64) {
+	sentBytes = make(map[string]float64)
+	casts = make(map[string]float64)
+	for _, m := range o.Reg().Snapshot() {
+		typ := m.Labels["type"]
+		switch m.Name {
+		case "sorrento_rpc_bytes_total":
+			if m.Labels["dir"] == "sent" {
+				sentBytes[typ] += m.Value
+			}
+		case "sorrento_rpc_casts_total":
+			casts[typ] += m.Value
+		}
+	}
+	return sentBytes, casts
+}

@@ -1,0 +1,43 @@
+package bufpool
+
+import "testing"
+
+func TestGetSizesAndClasses(t *testing.T) {
+	for _, tc := range []struct{ n, wantCap int }{
+		{1, 512}, {512, 512}, {513, 1024}, {4096, 4096}, {5000, 8192},
+	} {
+		b := Get(tc.n)
+		if len(b) != tc.n || cap(b) != tc.wantCap {
+			t.Errorf("Get(%d): len %d cap %d, want len %d cap %d",
+				tc.n, len(b), cap(b), tc.n, tc.wantCap)
+		}
+		Put(b)
+	}
+	if b := Get(0); b != nil {
+		t.Errorf("Get(0) = %v", b)
+	}
+}
+
+func TestOversizeAndOddCapsAreDropped(t *testing.T) {
+	huge := Get(1<<MaxClass + 1)
+	if len(huge) != 1<<MaxClass+1 {
+		t.Error("oversize Get wrong length")
+	}
+	Put(huge)              // dropped, not recycled — must not panic
+	Put(make([]byte, 700)) // odd capacity — dropped
+	Put(nil)
+}
+
+func TestRecycleRoundTrip(t *testing.T) {
+	b := Get(1024)
+	for i := range b {
+		b[i] = 0xAB
+	}
+	Put(b)
+	c := Get(100)
+	if cap(c) != 1024 && cap(c) != 512 {
+		// Either the recycled array (same P) or a fresh one; both are legal.
+		t.Logf("Get after Put returned cap %d", cap(c))
+	}
+	Put(c)
+}

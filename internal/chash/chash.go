@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"hash/fnv"
 	"sort"
+	"sync"
 )
 
 // DefaultVnodes is the virtual-node count per physical node. 64 keeps the
@@ -44,8 +45,8 @@ func NewWithVnodes(nodes []string, vnodes int) *Ring {
 	}
 	sort.Strings(r.nodes)
 	for _, n := range r.nodes {
-		for v := 0; v < vnodes; v++ {
-			r.entries = append(r.entries, ringEntry{hash: vnodeHash(n, v), node: n})
+		for _, h := range vnodeHashes(n, vnodes) {
+			r.entries = append(r.entries, ringEntry{hash: h, node: n})
 		}
 	}
 	sort.Slice(r.entries, func(i, j int) bool {
@@ -118,6 +119,26 @@ func vnodeHash(node string, v int) uint64 {
 	binary.BigEndian.PutUint32(b[:], uint32(v))
 	h.Write(b[:])
 	return mix64(h.Sum64())
+}
+
+// vnodeCache memoizes per-node vnode hash runs. Ring construction happens on
+// every membership change on every node — at cluster scale that's the same
+// few hundred node names hashed over and over; the hashes are deterministic,
+// so computing each node's run once makes a rebuild append+sort only.
+var vnodeCache sync.Map // node string -> []uint64 (len ≥ vnodes used so far)
+
+func vnodeHashes(node string, vnodes int) []uint64 {
+	if c, ok := vnodeCache.Load(node); ok {
+		if hs := c.([]uint64); len(hs) >= vnodes {
+			return hs[:vnodes]
+		}
+	}
+	hs := make([]uint64, vnodes)
+	for v := range hs {
+		hs[v] = vnodeHash(node, v)
+	}
+	vnodeCache.Store(node, hs)
+	return hs
 }
 
 // mix64 is the murmur3 finalizer. FNV alone has poor high-bit avalanche on

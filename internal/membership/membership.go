@@ -59,6 +59,7 @@ type Manager struct {
 	mu      sync.Mutex
 	live    map[wire.NodeID]*member
 	ring    *chash.Ring
+	ringOld bool // ring is stale w.r.t. live; rebuilt on next read
 	subs    []func(Event)
 	stop    chan struct{}
 	stopped bool
@@ -200,12 +201,25 @@ func (m *Manager) MarkDead(id wire.NodeID) {
 	}
 }
 
+// rebuildRingLocked only marks the ring stale: rebuilding is O(n·vnodes·log)
+// and during cluster formation every node observes up to n-1 membership
+// changes nearly at once — rebuilding eagerly per change is O(n²·vnodes·log)
+// per node. The next ring read folds all accumulated changes into one build.
 func (m *Manager) rebuildRingLocked() {
-	nodes := make([]string, 0, len(m.live))
-	for id := range m.live {
-		nodes = append(nodes, string(id))
+	m.ringOld = true
+}
+
+// ringLocked returns the ring, rebuilding it first if membership changed.
+func (m *Manager) ringLocked() *chash.Ring {
+	if m.ringOld {
+		nodes := make([]string, 0, len(m.live))
+		for id := range m.live {
+			nodes = append(nodes, string(id))
+		}
+		m.ring = chash.New(nodes)
+		m.ringOld = false
 	}
-	m.ring = chash.New(nodes)
+	return m.ring
 }
 
 // Live returns the sorted live provider set.
@@ -262,14 +276,14 @@ func (m *Manager) Loads() map[wire.NodeID]wire.LoadInfo {
 func (m *Manager) HomeOf(seg ids.SegID) wire.NodeID {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return wire.NodeID(m.ring.Lookup(seg[:]))
+	return wire.NodeID(m.ringLocked().Lookup(seg[:]))
 }
 
 // Ring returns the current consistent-hash ring (immutable snapshot).
 func (m *Manager) Ring() *chash.Ring {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.ring
+	return m.ringLocked()
 }
 
 // Subscribe registers a callback invoked on every join/departure. The

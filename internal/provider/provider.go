@@ -115,6 +115,14 @@ type Provider struct {
 	migrBusy bool                      // one active migration per node (§3.7.1)
 	rng      *rand.Rand
 
+	// Membership events are coalesced into a single worker goroutine: at a
+	// 512-node mass join a goroutine-per-event design parks tens of
+	// thousands of goroutines per process on join-delay timers.
+	memberMu    sync.Mutex
+	pendingJoin map[wire.NodeID]struct{} // newcomers awaiting a refresh pass
+	departed    []wire.NodeID            // departures awaiting table cleanup
+	memberKick  chan struct{}            // cap 1; wakes membershipWorker
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -221,21 +229,22 @@ func NewWithStore(id wire.NodeID, clock *simtime.Clock, cfg Config, network tran
 	cfg.Migration = cfg.Migration.withDefaults()
 
 	p := &Provider{
-		id:       id,
-		clock:    clock,
-		cfg:      cfg,
-		store:    store,
-		table:    locate.NewTable(clock),
-		members:  membership.NewManager(clock, cfg.Membership),
-		selector: placement.NewSelector(cfg.Seed),
-		cpu:      simtime.NewResource(clock, string(id)+"/cpu"),
-		loadEWMA: stats.NewEWMA(cfg.HeartbeatLoadEWMA),
-		ioEWMA:   stats.NewEWMA(cfg.HeartbeatLoadEWMA),
-		pullSem:  make(chan struct{}, cfg.MaxPulls),
-		lastHome: make(map[ids.SegID]wire.NodeID),
-		pulling:  make(map[ids.SegID]bool),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		stop:     make(chan struct{}),
+		id:         id,
+		clock:      clock,
+		cfg:        cfg,
+		store:      store,
+		table:      locate.NewTable(clock),
+		members:    membership.NewManager(clock, cfg.Membership),
+		selector:   placement.NewSelector(cfg.Seed),
+		cpu:        simtime.NewResource(clock, string(id)+"/cpu"),
+		loadEWMA:   stats.NewEWMA(cfg.HeartbeatLoadEWMA),
+		ioEWMA:     stats.NewEWMA(cfg.HeartbeatLoadEWMA),
+		pullSem:    make(chan struct{}, cfg.MaxPulls),
+		lastHome:   make(map[ids.SegID]wire.NodeID),
+		pulling:    make(map[ids.SegID]bool),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		memberKick: make(chan struct{}, 1),
+		stop:       make(chan struct{}),
 	}
 	res := append([]*simtime.Resource{d.Resource(), p.cpu}, extraResources...)
 	p.util = simtime.NewUtilizationSampler(clock, res...)
@@ -267,6 +276,11 @@ func (p *Provider) Endpoint() transport.Endpoint { return p.ep }
 
 // Start launches the daemon's background loops.
 func (p *Provider) Start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.membershipWorker()
+	}()
 	p.members.Start()
 	p.ann.Start()
 	p.loop(p.cfg.RefreshInterval, p.refreshAll)
@@ -408,41 +422,81 @@ func (p *Provider) call(to wire.NodeID, req any) (any, error) {
 	return p.ep.Call(ctx, to, req)
 }
 
-// onMembershipEvent reacts to provider joins and departures (paper §3.4.1
-// events 2 and 3).
+// onMembershipEvent records a provider join or departure (paper §3.4.1
+// events 2 and 3) and wakes the membership worker. It runs synchronously on
+// the heartbeat path, so it only enqueues: at cluster formation every node
+// sees N-1 joins nearly at once, and spawning a delayed goroutine per event
+// (the old design) parked O(N) goroutines per process — O(N²) per cluster —
+// on join-delay timers.
 func (p *Provider) onMembershipEvent(e membership.Event) {
 	if e.Node == p.id {
 		return
 	}
+	p.memberMu.Lock()
 	if e.Joined {
-		// Refresh the newcomer after a short random delay to avoid
-		// stampeding it (paper §3.4.1 event 2). The refresh covers every
-		// local segment the newcomer is now home for — unconditionally,
-		// since a (re)joined node may have lost its soft state.
-		p.mu.Lock()
-		delay := time.Duration(p.rng.Int63n(int64(p.cfg.JoinDelayMax)))
-		p.mu.Unlock()
-		p.wg.Add(1)
-		go func() {
-			defer p.wg.Done()
-			select {
-			case <-p.stop:
-				return
-			case <-p.clock.After(delay):
-			}
-			p.refreshTo(e.Node)
-			p.rehome()
-		}()
-		return
+		if p.pendingJoin == nil {
+			p.pendingJoin = make(map[wire.NodeID]struct{})
+		}
+		p.pendingJoin[e.Node] = struct{}{}
+	} else {
+		p.departed = append(p.departed, e.Node)
 	}
-	// Departure: drop its entries from our table and re-home our segments
-	// whose locations it used to track.
-	p.wg.Add(1)
-	go func() {
-		defer p.wg.Done()
-		p.table.RemoveOwner(e.Node)
-		p.rehome()
-	}()
+	p.memberMu.Unlock()
+	select {
+	case p.memberKick <- struct{}{}:
+	default:
+	}
+}
+
+// membershipWorker is the single goroutine that services membership events.
+// Departures are handled immediately: the departed node's entries leave our
+// location table and our segments re-home right away, as repair depends on
+// it. Joins are batched behind one random delay (≤ JoinDelayMax) so the
+// cluster's refresh traffic toward a newcomer is staggered across senders
+// without stampeding it (paper §3.4.1 event 2); every join that lands while
+// the delay runs joins the same refresh pass.
+func (p *Provider) membershipWorker() {
+	var joinTimer <-chan time.Time // armed while a join batch is pending
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.memberKick:
+		case <-joinTimer:
+			joinTimer = nil
+			p.memberMu.Lock()
+			joins := p.pendingJoin
+			p.pendingJoin = nil
+			p.memberMu.Unlock()
+			for n := range joins {
+				// A newcomer that already departed again gets dropped;
+				// its re-join, if any, raises a fresh event.
+				if p.members.IsLive(n) {
+					p.refreshTo(n)
+				}
+			}
+			if len(joins) > 0 {
+				p.rehome()
+			}
+		}
+		p.memberMu.Lock()
+		dep := p.departed
+		p.departed = nil
+		havePendingJoins := len(p.pendingJoin) > 0
+		p.memberMu.Unlock()
+		if len(dep) > 0 {
+			for _, n := range dep {
+				p.table.RemoveOwner(n)
+			}
+			p.rehome()
+		}
+		if havePendingJoins && joinTimer == nil {
+			p.mu.Lock()
+			delay := time.Duration(p.rng.Int63n(int64(p.cfg.JoinDelayMax)))
+			p.mu.Unlock()
+			joinTimer = p.clock.After(delay)
+		}
+	}
 }
 
 // refreshTo sends node every local entry it is currently the home host

@@ -1,10 +1,11 @@
 package segstore
 
-import "sync"
+import "repro/internal/bufpool"
 
 // Shadow extents are the store's hottest allocation: every SegWrite copies
 // its payload into one, and the buffers die in bulk at commit/abort time.
-// They are recycled through power-of-two size-class pools.
+// They are recycled through the process-wide power-of-two size-class pools
+// in internal/bufpool (shared with the wire codec and the TCP transport).
 //
 // Ownership invariant: every pooled slice handed out by poolGet is an
 // array-prefix slice of its backing array, and exactly one live slice may
@@ -13,49 +14,14 @@ import "sync"
 // fresh pooled buffer — returning the head to the pool later returns the
 // whole array without freeing bytes someone else still reads.
 const (
-	minPoolClass = 9  // 512 B
-	maxPoolClass = 26 // 64 MB; larger buffers fall through to the GC
+	minPoolClass = bufpool.MinClass
+	maxPoolClass = bufpool.MaxClass
 )
-
-var bufPools [maxPoolClass - minPoolClass + 1]sync.Pool
-
-// poolClass returns the smallest class whose size holds n bytes.
-func poolClass(n int) int {
-	c := minPoolClass
-	for n > 1<<c {
-		c++
-	}
-	return c
-}
 
 // poolGet returns a length-n buffer backed by a pooled array. The contents
 // are NOT zeroed; callers must overwrite all n bytes.
-func poolGet(n int) []byte {
-	if n == 0 {
-		return nil
-	}
-	if n > 1<<maxPoolClass {
-		return make([]byte, n)
-	}
-	c := poolClass(n)
-	if p, _ := bufPools[c-minPoolClass].Get().(*[]byte); p != nil {
-		return (*p)[:n]
-	}
-	return make([]byte, n, 1<<c)
-}
+func poolGet(n int) []byte { return bufpool.Get(n) }
 
 // poolPut recycles a buffer obtained from poolGet once no live slice
-// references its array. Buffers whose capacity is not an exact class size
-// (e.g. grown by append past the class) are left to the GC.
-func poolPut(b []byte) {
-	c := cap(b)
-	if c < 1<<minPoolClass || c > 1<<maxPoolClass {
-		return
-	}
-	cls := poolClass(c)
-	if 1<<cls != c {
-		return
-	}
-	b = b[:c]
-	bufPools[cls-minPoolClass].Put(&b)
-}
+// references its array.
+func poolPut(b []byte) { bufpool.Put(b) }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -32,6 +33,16 @@ import (
 // Every injection and every fault-induced message loss is counted in the
 // instrumented registry (sorrento_net_faults_total), so experiments can
 // report exactly how much abuse a run absorbed.
+//
+// Scaling: every message crosses this layer twice (request and response),
+// so its cost must not grow with cluster size. Two atomic counters make the
+// healthy case free — linkVerdict and awaitResume return after one atomic
+// load when no fault of their kind is injected, so a 512-node run with a
+// few dead nodes never takes a fault lock. When link faults ARE active,
+// per-link state (blocks, loss, latency) lives in hash-sharded maps with
+// per-shard RNGs, so chaos on one link doesn't serialize verdicts on
+// disjoint links. Host-level state (isolation, pauses, the default fault)
+// is a handful of entries and stays under one mutex.
 
 // LinkFault degrades one direction of a host pair's link.
 type LinkFault struct {
@@ -45,13 +56,28 @@ func (lf LinkFault) zero() bool { return lf.DropProb == 0 && lf.ExtraLatency == 
 
 type linkKey struct{ from, to wire.NodeID }
 
-// faults holds the fabric's injected-fault state, guarded by its own mutex
-// so the data path never contends with topology (join/lookup) locking.
+// faultShards is the number of per-link state shards. Links hash to shards,
+// so concurrent verdicts on distinct faulted links rarely share a lock.
+const faultShards = 32
+
+type faultShard struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	blocked map[linkKey]bool
+	links   map[linkKey]LinkFault
+}
+
+// faults holds the fabric's injected-fault state.
 type faults struct {
-	mu       sync.Mutex
-	rng      *rand.Rand
-	blocked  map[linkKey]bool
-	links    map[linkKey]LinkFault
+	// linkActive counts injected link-level fault entries (blocks, link
+	// faults, isolation flags, a non-zero default); pausedN counts paused
+	// hosts. Zero means the respective data path is a single atomic load.
+	linkActive atomic.Int64
+	pausedN    atomic.Int64
+
+	shards [faultShards]faultShard
+
+	mu       sync.Mutex // host-level state; also serializes injections
 	def      LinkFault
 	blockIn  map[wire.NodeID]bool
 	blockOut map[wire.NodeID]bool
@@ -59,42 +85,89 @@ type faults struct {
 }
 
 func newFaults(seed int64) *faults {
-	if seed == 0 {
-		seed = 1
-	}
-	return &faults{
-		rng:      rand.New(rand.NewSource(seed)),
-		blocked:  make(map[linkKey]bool),
-		links:    make(map[linkKey]LinkFault),
+	f := &faults{
 		blockIn:  make(map[wire.NodeID]bool),
 		blockOut: make(map[wire.NodeID]bool),
 		paused:   make(map[wire.NodeID]chan struct{}),
 	}
+	f.reseed(seed)
+	for i := range f.shards {
+		f.shards[i].blocked = make(map[linkKey]bool)
+		f.shards[i].links = make(map[linkKey]LinkFault)
+	}
+	return f
 }
 
-// SetFaultSeed reseeds the drop-decision RNG (deterministic replay).
-func (f *Fabric) SetFaultSeed(seed int64) {
-	f.flt.mu.Lock()
-	defer f.flt.mu.Unlock()
+// quiet reports that no fault of any kind is currently injected, so the
+// data path may skip per-receiver verdicts entirely.
+func (ff *faults) quiet() bool {
+	return ff.linkActive.Load() == 0 && ff.pausedN.Load() == 0
+}
+
+// reseed derives one RNG per shard from the base seed. A link always hashes
+// to the same shard within a fabric, so a pinned seed replays the same drop
+// pattern for the same traffic.
+func (ff *faults) reseed(seed int64) {
 	if seed == 0 {
 		seed = 1
 	}
-	f.flt.rng = rand.New(rand.NewSource(seed))
+	for i := range ff.shards {
+		ff.shards[i].rng = rand.New(rand.NewSource(seed + int64(i)))
+	}
+}
+
+// shard maps a link to its state shard with FNV-1a. The hash is
+// deterministic across processes so a pinned fault seed replays the same
+// shard assignment, and therefore the same per-shard RNG drop pattern.
+func (ff *faults) shard(k linkKey) *faultShard {
+	const offset64, prime64 = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset64
+	for i := 0; i < len(k.from); i++ {
+		h = (h ^ uint64(k.from[i])) * prime64
+	}
+	h *= prime64 // separator between the two names
+	for i := 0; i < len(k.to); i++ {
+		h = (h ^ uint64(k.to[i])) * prime64
+	}
+	return &ff.shards[h%faultShards]
+}
+
+// SetFaultSeed reseeds the drop-decision RNGs (deterministic replay).
+func (f *Fabric) SetFaultSeed(seed int64) {
+	f.flt.mu.Lock()
+	defer f.flt.mu.Unlock()
+	for i := range f.flt.shards {
+		f.flt.shards[i].mu.Lock()
+	}
+	f.flt.reseed(seed)
+	for i := range f.flt.shards {
+		f.flt.shards[i].mu.Unlock()
+	}
 }
 
 // BlockLink drops every message from -> to until HealLink.
 func (f *Fabric) BlockLink(from, to wire.NodeID) {
-	f.flt.mu.Lock()
-	f.flt.blocked[linkKey{from, to}] = true
-	f.flt.mu.Unlock()
+	k := linkKey{from, to}
+	sh := f.flt.shard(k)
+	sh.mu.Lock()
+	if !sh.blocked[k] {
+		sh.blocked[k] = true
+		f.flt.linkActive.Add(1)
+	}
+	sh.mu.Unlock()
 	f.countFault("inject_block")
 }
 
 // HealLink restores the from -> to direction.
 func (f *Fabric) HealLink(from, to wire.NodeID) {
-	f.flt.mu.Lock()
-	delete(f.flt.blocked, linkKey{from, to})
-	f.flt.mu.Unlock()
+	k := linkKey{from, to}
+	sh := f.flt.shard(k)
+	sh.mu.Lock()
+	if sh.blocked[k] {
+		delete(sh.blocked, k)
+		f.flt.linkActive.Add(-1)
+	}
+	sh.mu.Unlock()
 	f.countFault("inject_heal")
 }
 
@@ -114,8 +187,14 @@ func (f *Fabric) Heal(a, b wire.NodeID) {
 // present and future (fig13's partition fault uses it).
 func (f *Fabric) IsolateNode(id wire.NodeID) {
 	f.flt.mu.Lock()
-	f.flt.blockIn[id] = true
-	f.flt.blockOut[id] = true
+	if !f.flt.blockIn[id] {
+		f.flt.blockIn[id] = true
+		f.flt.linkActive.Add(1)
+	}
+	if !f.flt.blockOut[id] {
+		f.flt.blockOut[id] = true
+		f.flt.linkActive.Add(1)
+	}
 	f.flt.mu.Unlock()
 	f.countFault("inject_isolate")
 }
@@ -124,7 +203,10 @@ func (f *Fabric) IsolateNode(id wire.NodeID) {
 // flowing) but receives nothing — the asymmetric-partition case.
 func (f *Fabric) IsolateInbound(id wire.NodeID) {
 	f.flt.mu.Lock()
-	f.flt.blockIn[id] = true
+	if !f.flt.blockIn[id] {
+		f.flt.blockIn[id] = true
+		f.flt.linkActive.Add(1)
+	}
 	f.flt.mu.Unlock()
 	f.countFault("inject_isolate_in")
 }
@@ -133,7 +215,10 @@ func (f *Fabric) IsolateInbound(id wire.NodeID) {
 // arrives (the complementary asymmetric case).
 func (f *Fabric) IsolateOutbound(id wire.NodeID) {
 	f.flt.mu.Lock()
-	f.flt.blockOut[id] = true
+	if !f.flt.blockOut[id] {
+		f.flt.blockOut[id] = true
+		f.flt.linkActive.Add(1)
+	}
 	f.flt.mu.Unlock()
 	f.countFault("inject_isolate_out")
 }
@@ -141,8 +226,14 @@ func (f *Fabric) IsolateOutbound(id wire.NodeID) {
 // HealNode clears a host's isolation flags.
 func (f *Fabric) HealNode(id wire.NodeID) {
 	f.flt.mu.Lock()
-	delete(f.flt.blockIn, id)
-	delete(f.flt.blockOut, id)
+	if f.flt.blockIn[id] {
+		delete(f.flt.blockIn, id)
+		f.flt.linkActive.Add(-1)
+	}
+	if f.flt.blockOut[id] {
+		delete(f.flt.blockOut, id)
+		f.flt.linkActive.Add(-1)
+	}
 	f.flt.mu.Unlock()
 	f.countFault("inject_heal")
 }
@@ -156,13 +247,22 @@ func (f *Fabric) SetLinkFault(a, b wire.NodeID, lf LinkFault) {
 
 // SetLinkFaultOneWay degrades a single direction.
 func (f *Fabric) SetLinkFaultOneWay(from, to wire.NodeID, lf LinkFault) {
-	f.flt.mu.Lock()
+	k := linkKey{from, to}
+	sh := f.flt.shard(k)
+	sh.mu.Lock()
+	_, had := sh.links[k]
 	if lf.zero() {
-		delete(f.flt.links, linkKey{from, to})
+		if had {
+			delete(sh.links, k)
+			f.flt.linkActive.Add(-1)
+		}
 	} else {
-		f.flt.links[linkKey{from, to}] = lf
+		if !had {
+			f.flt.linkActive.Add(1)
+		}
+		sh.links[k] = lf
 	}
-	f.flt.mu.Unlock()
+	sh.mu.Unlock()
 	f.countFault("inject_link_fault")
 }
 
@@ -170,7 +270,13 @@ func (f *Fabric) SetLinkFaultOneWay(from, to wire.NodeID, lf LinkFault) {
 // a uniformly lossy or slow network.
 func (f *Fabric) SetDefaultLinkFault(lf LinkFault) {
 	f.flt.mu.Lock()
+	was, now := !f.flt.def.zero(), !lf.zero()
 	f.flt.def = lf
+	if now && !was {
+		f.flt.linkActive.Add(1)
+	} else if was && !now {
+		f.flt.linkActive.Add(-1)
+	}
 	f.flt.mu.Unlock()
 	f.countFault("inject_default_fault")
 }
@@ -182,6 +288,7 @@ func (f *Fabric) Pause(id wire.NodeID) {
 	f.flt.mu.Lock()
 	if _, ok := f.flt.paused[id]; !ok {
 		f.flt.paused[id] = make(chan struct{})
+		f.flt.pausedN.Add(1)
 	}
 	f.flt.mu.Unlock()
 	f.countFault("inject_pause")
@@ -193,6 +300,7 @@ func (f *Fabric) Resume(id wire.NodeID) {
 	if ch, ok := f.flt.paused[id]; ok {
 		close(ch)
 		delete(f.flt.paused, id)
+		f.flt.pausedN.Add(-1)
 	}
 	f.flt.mu.Unlock()
 	f.countFault("inject_resume")
@@ -209,40 +317,62 @@ func (f *Fabric) Paused(id wire.NodeID) bool {
 // HealAllFaults clears partitions, isolation, link degradation, and resumes
 // every paused host — the end-of-schedule cleanup chaos tests rely on.
 func (f *Fabric) HealAllFaults() {
-	f.flt.mu.Lock()
-	f.flt.blocked = make(map[linkKey]bool)
-	f.flt.links = make(map[linkKey]LinkFault)
-	f.flt.def = LinkFault{}
-	f.flt.blockIn = make(map[wire.NodeID]bool)
-	f.flt.blockOut = make(map[wire.NodeID]bool)
-	for id, ch := range f.flt.paused {
-		close(ch)
-		delete(f.flt.paused, id)
+	flt := f.flt
+	flt.mu.Lock()
+	for i := range flt.shards {
+		flt.shards[i].mu.Lock()
+		flt.shards[i].blocked = make(map[linkKey]bool)
+		flt.shards[i].links = make(map[linkKey]LinkFault)
+		flt.shards[i].mu.Unlock()
 	}
-	f.flt.mu.Unlock()
+	flt.def = LinkFault{}
+	flt.blockIn = make(map[wire.NodeID]bool)
+	flt.blockOut = make(map[wire.NodeID]bool)
+	for id, ch := range flt.paused {
+		close(ch)
+		delete(flt.paused, id)
+	}
+	flt.linkActive.Store(0)
+	flt.pausedN.Store(0)
+	flt.mu.Unlock()
 	f.countFault("inject_heal_all")
 }
 
 // linkVerdict decides the fate of one message crossing from -> to: dropped
 // (partition or random loss) and/or delayed. Fault-induced drops are
-// counted by cause.
+// counted by cause. With no link fault injected anywhere it is a single
+// atomic load — the common case on the hot path.
 func (f *Fabric) linkVerdict(from, to wire.NodeID) (drop bool, extra time.Duration) {
-	f.flt.mu.Lock()
-	if f.flt.blocked[linkKey{from, to}] || f.flt.blockOut[from] || f.flt.blockIn[to] {
-		f.flt.mu.Unlock()
+	flt := f.flt
+	if flt.linkActive.Load() == 0 {
+		return false, 0
+	}
+	flt.mu.Lock()
+	hostBlocked := flt.blockOut[from] || flt.blockIn[to]
+	def := flt.def
+	flt.mu.Unlock()
+	if hostBlocked {
 		f.countFault("drop_partition")
 		return true, 0
 	}
-	lf, ok := f.flt.links[linkKey{from, to}]
-	if !ok {
-		lf = f.flt.def
+	k := linkKey{from, to}
+	sh := flt.shard(k)
+	sh.mu.Lock()
+	if sh.blocked[k] {
+		sh.mu.Unlock()
+		f.countFault("drop_partition")
+		return true, 0
 	}
-	if lf.DropProb > 0 && f.flt.rng.Float64() < lf.DropProb {
-		f.flt.mu.Unlock()
+	lf, ok := sh.links[k]
+	if !ok {
+		lf = def
+	}
+	lost := lf.DropProb > 0 && sh.rng.Float64() < lf.DropProb
+	sh.mu.Unlock()
+	if lost {
 		f.countFault("drop_loss")
 		return true, 0
 	}
-	f.flt.mu.Unlock()
 	if lf.ExtraLatency > 0 {
 		f.countFault("latency_spike")
 	}
@@ -252,11 +382,15 @@ func (f *Fabric) linkVerdict(from, to wire.NodeID) (drop bool, extra time.Durati
 // awaitResume blocks while host is paused: until Resume, the caller's ctx
 // deadline, or CallTimeout — whichever comes first. Messages of a stall
 // longer than CallTimeout are lost, modeling overflowing queues in front of
-// a wedged process.
+// a wedged process. With no host paused it is a single atomic load.
 func (f *Fabric) awaitResume(ctx context.Context, host wire.NodeID) error {
-	f.flt.mu.Lock()
-	ch, ok := f.flt.paused[host]
-	f.flt.mu.Unlock()
+	flt := f.flt
+	if flt.pausedN.Load() == 0 {
+		return nil
+	}
+	flt.mu.Lock()
+	ch, ok := flt.paused[host]
+	flt.mu.Unlock()
 	if !ok {
 		return nil
 	}

@@ -48,14 +48,23 @@ func FastEthernet() Config {
 }
 
 // Fabric is the simulated network. It implements transport.Network.
+//
+// Node state is per-link by construction: lookups on the data path go
+// through a lock-free sync.Map, each node pair's transfers meet only at
+// their own NICs' simtime.Resources, and the fault layer answers "no fault
+// injected" with one atomic load (see faults.go). Nothing on the hot path
+// takes a fabric-wide lock, so concurrent transfers between disjoint node
+// pairs scale with cores instead of serializing — the property
+// BenchmarkFabricParallelPairs pins.
 type Fabric struct {
 	clock *simtime.Clock
 	cfg   Config
 	obs   atomic.Pointer[obs.Obs]
 	flt   *faults
 
-	mu    sync.RWMutex
-	nodes map[wire.NodeID]*endpoint
+	nodes  sync.Map // wire.NodeID -> *endpoint
+	nodeN  atomic.Int64
+	joinMu sync.Mutex // serializes Join/Remove/Instrument (cold path)
 }
 
 // New creates an empty fabric on the given clock.
@@ -66,7 +75,7 @@ func New(clock *simtime.Clock, cfg Config) *Fabric {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = FastEthernet().CallTimeout
 	}
-	return &Fabric{clock: clock, cfg: cfg, flt: newFaults(cfg.FaultSeed), nodes: make(map[wire.NodeID]*endpoint)}
+	return &Fabric{clock: clock, cfg: cfg, flt: newFaults(cfg.FaultSeed)}
 }
 
 // Clock returns the fabric's clock.
@@ -83,11 +92,12 @@ func (f *Fabric) Instrument(o *obs.Obs) {
 		return
 	}
 	f.obs.Store(o)
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	for _, ep := range f.nodes {
-		f.instrumentLocked(ep)
-	}
+	f.joinMu.Lock()
+	defer f.joinMu.Unlock()
+	f.nodes.Range(func(_, v any) bool {
+		f.instrumentLocked(v.(*endpoint))
+		return true
+	})
 }
 
 func (f *Fabric) instrumentLocked(ep *endpoint) {
@@ -128,21 +138,16 @@ func (f *Fabric) Join(id wire.NodeID, h transport.Handler) (transport.Endpoint, 
 
 // JoinAt implements transport.Network: the endpoint shares host's NIC.
 func (f *Fabric) JoinAt(id, host wire.NodeID, h transport.Handler) (transport.Endpoint, error) {
-	f.mu.RLock()
-	he, ok := f.nodes[host]
-	f.mu.RUnlock()
-	if !ok {
+	he := f.lookup(host)
+	if he == nil {
 		return nil, fmt.Errorf("simnet: JoinAt: host %q not joined", host)
 	}
 	return f.join(id, host, h, he.nic)
 }
 
 func (f *Fabric) join(id, host wire.NodeID, h transport.Handler, sharedNIC *nic) (transport.Endpoint, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if _, exists := f.nodes[id]; exists {
-		return nil, fmt.Errorf("simnet: node %q already joined", id)
-	}
+	f.joinMu.Lock()
+	defer f.joinMu.Unlock()
 	n := sharedNIC
 	if n == nil {
 		n = &nic{
@@ -151,7 +156,10 @@ func (f *Fabric) join(id, host wire.NodeID, h transport.Handler, sharedNIC *nic)
 		}
 	}
 	ep := &endpoint{fabric: f, id: id, host: host, nic: n, handler: h}
-	f.nodes[id] = ep
+	if _, exists := f.nodes.LoadOrStore(id, ep); exists {
+		return nil, fmt.Errorf("simnet: node %q already joined", id)
+	}
+	f.nodeN.Add(1)
 	f.instrumentLocked(ep)
 	return ep, nil
 }
@@ -159,19 +167,18 @@ func (f *Fabric) join(id, host wire.NodeID, h transport.Handler, sharedNIC *nic)
 // NICResources returns the send/receive resources of a node's NIC so load
 // samplers can include network I/O wait. It returns nil for unknown nodes.
 func (f *Fabric) NICResources(id wire.NodeID) []*simtime.Resource {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	ep, ok := f.nodes[id]
-	if !ok {
+	ep := f.lookup(id)
+	if ep == nil {
 		return nil
 	}
 	return []*simtime.Resource{ep.nic.send, ep.nic.recv}
 }
 
 func (f *Fabric) lookup(id wire.NodeID) *endpoint {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return f.nodes[id]
+	if v, ok := f.nodes.Load(id); ok {
+		return v.(*endpoint)
+	}
+	return nil
 }
 
 // transferTime is the modeled NIC occupancy for a message of size bytes.
@@ -293,14 +300,16 @@ func (e *endpoint) call(ctx context.Context, to wire.NodeID, req any) (any, erro
 }
 
 // lostRequest models a message that will never be answered: the caller
-// blocks until its own deadline or the transport's CallTimeout.
+// blocks until its own deadline or the transport's CallTimeout. The wait
+// rides the shared timer wheel rather than a runtime timer — with a few
+// dead nodes in a large cluster, every retry against a grave would
+// otherwise allocate a timer that lingers for the full timeout.
 func (e *endpoint) lostRequest(ctx context.Context) (any, error) {
-	select {
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	case <-e.fabric.clock.After(e.fabric.cfg.CallTimeout):
-		return nil, transport.ErrTimeout
+	deadline := time.Now().Add(e.fabric.clock.Wall(e.fabric.cfg.CallTimeout))
+	if err := simtime.WaitUntilCtx(ctx, deadline); err != nil {
+		return nil, err
 	}
+	return nil, transport.ErrTimeout
 }
 
 // transferQuantum bounds one NIC reservation. Real links multiplex flows
@@ -398,36 +407,66 @@ func (e *endpoint) Multicast(msg any) {
 	// Multicast frames are small control traffic (heartbeats, location
 	// probes): they ride the priority lane so they are never starved by
 	// bulk transfers — losing heartbeats under load would fake failures.
-	simtime.WaitUntil(e.nic.send.ReservePriority(e.fabric.transferTime(size)))
-	e.fabric.mu.RLock()
-	targets := make([]*endpoint, 0, len(e.fabric.nodes))
-	for _, ep := range e.fabric.nodes {
-		if ep.id != e.id {
+	f := e.fabric
+	simtime.WaitUntil(e.nic.send.ReservePriority(f.transferTime(size)))
+	targets := make([]*endpoint, 0, int(f.nodeN.Load()))
+	f.nodes.Range(func(_, v any) bool {
+		if ep := v.(*endpoint); ep.id != e.id {
 			targets = append(targets, ep)
 		}
+		return true
+	})
+	// Healthy-fabric fast path: with no faults injected, delivery needs no
+	// per-receiver drop/pause checks, so receivers are served in chunks by a
+	// few goroutines instead of one goroutine per receiver — at 512 providers
+	// each heartbeat would otherwise spawn 511 goroutines. Receivers within a
+	// chunk are delivered in sequence; their per-receiver reservations are
+	// tiny (a control frame), so the added skew is microseconds — real
+	// multicast delivery isn't instantaneous either.
+	if f.flt.quiet() {
+		const chunk = 64
+		for len(targets) > 0 {
+			part := targets
+			if len(part) > chunk {
+				part = part[:chunk]
+			}
+			targets = targets[len(part):]
+			go func(part []*endpoint) {
+				f.clock.Sleep(f.cfg.Latency)
+				for _, ep := range part {
+					if ep.isClosed() || ep.handler == nil {
+						continue
+					}
+					if ep.nic != e.nic {
+						simtime.WaitUntil(ep.nic.recv.ReservePriority(f.transferTime(size)))
+					}
+					ep.handler.HandleCast(e.host, msg)
+				}
+			}(part)
+		}
+		return
 	}
-	e.fabric.mu.RUnlock()
 	for _, ep := range targets {
 		go func(ep *endpoint) {
 			// Per-receiver fault check: partitions and loss apply to each
 			// delivery of the frame independently.
 			if ep.nic != e.nic {
-				drop, extra := e.fabric.linkVerdict(e.host, ep.host)
+				drop, extra := f.linkVerdict(e.host, ep.host)
 				if drop {
 					return
 				}
-				e.fabric.clock.Sleep(e.fabric.cfg.Latency + extra)
+				f.clock.Sleep(f.cfg.Latency + extra)
 			} else {
-				e.fabric.clock.Sleep(e.fabric.cfg.Latency)
+				f.clock.Sleep(f.cfg.Latency)
 			}
 			if ep.isClosed() || ep.handler == nil {
 				return
 			}
 			if ep.nic != e.nic {
-				simtime.WaitUntil(ep.nic.recv.ReservePriority(e.fabric.transferTime(size)))
+				simtime.WaitUntil(ep.nic.recv.ReservePriority(f.transferTime(size)))
 			}
 			// A paused receiver processes queued frames only after Resume.
-			if err := e.fabric.awaitResume(context.Background(), ep.host); err != nil {
+			if err := f.awaitResume(context.Background(), ep.host); err != nil {
 				return
 			}
 			ep.handler.HandleCast(e.host, msg)
@@ -447,12 +486,14 @@ func (e *endpoint) Close() error {
 // Remove detaches a node entirely (used when a node's ID should become
 // reusable, e.g. re-adding a repaired machine).
 func (f *Fabric) Remove(id wire.NodeID) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if ep, ok := f.nodes[id]; ok {
+	f.joinMu.Lock()
+	defer f.joinMu.Unlock()
+	if v, ok := f.nodes.Load(id); ok {
+		ep := v.(*endpoint)
 		ep.mu.Lock()
 		ep.closed = true
 		ep.mu.Unlock()
-		delete(f.nodes, id)
+		f.nodes.Delete(id)
+		f.nodeN.Add(-1)
 	}
 }

@@ -61,7 +61,7 @@ func sleepWall(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	globalWheel.wait(time.Now().Add(d))
+	wheelWait(time.Now().Add(d))
 }
 
 // sleepUntil blocks until the wall instant t.
@@ -69,7 +69,7 @@ func sleepUntil(t time.Time) {
 	if !time.Now().Before(t) {
 		return
 	}
-	globalWheel.wait(t)
+	wheelWait(t)
 }
 
 // Sleep blocks for the modeled duration d (compressed by Scale).
@@ -205,7 +205,7 @@ func WaitUntilCtx(ctx context.Context, t time.Time) error {
 		sleepUntil(t)
 		return nil
 	}
-	ch := globalWheel.register(t)
+	ch := wheelRegister(t)
 	select {
 	case <-ch:
 		return nil

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -30,7 +31,41 @@ type wheel struct {
 // yielding; it must exceed the platform's time.Sleep overshoot.
 const slack = 2 * time.Millisecond
 
-var globalWheel = wheel{wake: make(chan struct{}, 1)}
+// The process-wide wheel is sharded so 10k+ outstanding timers (512
+// providers' heartbeats, scan deadlines, RPC timeouts) don't serialize on
+// one mutex and one pacer goroutine. Registrations spread round-robin —
+// deadline ordering is a per-waiter contract (each channel closes at its
+// own deadline), so waiters need no cross-shard coordination. Shard count
+// is a power of two near GOMAXPROCS, capped: each shard costs one pacer
+// goroutine while it has waiters.
+var (
+	wheelShards []*wheel
+	wheelMask   uint64
+	wheelCtr    atomic.Uint64
+)
+
+func init() {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 16 {
+		n <<= 1
+	}
+	wheelShards = make([]*wheel, n)
+	for i := range wheelShards {
+		wheelShards[i] = &wheel{wake: make(chan struct{}, 1)}
+	}
+	wheelMask = uint64(n - 1)
+}
+
+// wheelWait blocks until the wall instant t.
+func wheelWait(t time.Time) {
+	wheelShards[wheelCtr.Add(1)&wheelMask].wait(t)
+}
+
+// wheelRegister enrolls a waiter for the wall instant t on some shard and
+// returns the channel closed when t passes.
+func wheelRegister(t time.Time) <-chan struct{} {
+	return wheelShards[wheelCtr.Add(1)&wheelMask].register(t)
+}
 
 type waiter struct {
 	deadline time.Time

@@ -1,6 +1,8 @@
 package simtime
 
 import (
+	"context"
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
@@ -9,7 +11,7 @@ import (
 func TestWheelWaitAccuracy(t *testing.T) {
 	for _, d := range []time.Duration{100 * time.Microsecond, time.Millisecond, 5 * time.Millisecond} {
 		start := time.Now()
-		globalWheel.wait(start.Add(d))
+		wheelWait(start.Add(d))
 		got := time.Since(start)
 		if got < d {
 			t.Errorf("wait(%v) returned early after %v", d, got)
@@ -22,7 +24,7 @@ func TestWheelWaitAccuracy(t *testing.T) {
 
 func TestWheelPastDeadlineReturnsImmediately(t *testing.T) {
 	start := time.Now()
-	globalWheel.wait(start.Add(-time.Second))
+	wheelWait(start.Add(-time.Second))
 	if time.Since(start) > time.Millisecond {
 		t.Error("past deadline blocked")
 	}
@@ -31,17 +33,19 @@ func TestWheelPastDeadlineReturnsImmediately(t *testing.T) {
 // TestWheelShortWaitNotBlockedByLongSleep pins the regression where a
 // waiter with a near deadline registered while the pacer was in a long
 // coarse sleep toward a far deadline, and stalled until that sleep ended.
+// It drives one shard directly so the long and short waits share a pacer.
 func TestWheelShortWaitNotBlockedByLongSleep(t *testing.T) {
+	w := wheelShards[0]
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		globalWheel.wait(time.Now().Add(300 * time.Millisecond))
+		w.wait(time.Now().Add(300 * time.Millisecond))
 	}()
 	time.Sleep(10 * time.Millisecond) // let the pacer start its long sleep
 
 	start := time.Now()
-	globalWheel.wait(start.Add(5 * time.Millisecond))
+	w.wait(start.Add(5 * time.Millisecond))
 	if got := time.Since(start); got > 50*time.Millisecond {
 		t.Errorf("short wait stalled %v behind a long sleep", got)
 	}
@@ -56,7 +60,7 @@ func TestWheelConcurrentWaitsOverlap(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			globalWheel.wait(time.Now().Add(20 * time.Millisecond))
+			wheelWait(time.Now().Add(20 * time.Millisecond))
 		}()
 	}
 	wg.Wait()
@@ -65,20 +69,154 @@ func TestWheelConcurrentWaitsOverlap(t *testing.T) {
 	}
 }
 
-func TestWheelPacerExitsWhenIdle(t *testing.T) {
-	globalWheel.wait(time.Now().Add(2 * time.Millisecond))
+func TestWheelPacersExitWhenIdle(t *testing.T) {
+	// Touch every shard, then require all pacers to wind down.
+	for i := 0; i < len(wheelShards)*2; i++ {
+		wheelWait(time.Now().Add(2 * time.Millisecond))
+	}
 	deadline := time.Now().Add(time.Second)
 	for {
-		globalWheel.mu.Lock()
-		running := globalWheel.running
-		queued := globalWheel.q.Len()
-		globalWheel.mu.Unlock()
-		if !running && queued == 0 {
+		idle := true
+		queued := 0
+		for _, w := range wheelShards {
+			w.mu.Lock()
+			if w.running || w.q.Len() > 0 {
+				idle = false
+				queued += w.q.Len()
+			}
+			w.mu.Unlock()
+		}
+		if idle {
 			return
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("pacer still running with %d queued after idle", queued)
+			t.Fatalf("pacers still running with %d queued after idle", queued)
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWheelCrossShardOrdering registers interleaved near and far deadlines
+// (round-robin spreads them across shards) and asserts every wait completes
+// at or after its own deadline, and that a far deadline never resolves
+// before a near one by more than scheduling noise.
+func TestWheelCrossShardOrdering(t *testing.T) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := make(map[int]time.Time)
+	base := time.Now()
+	deadlines := make([]time.Duration, 24)
+	for i := range deadlines {
+		if i%2 == 0 {
+			deadlines[i] = 10 * time.Millisecond
+		} else {
+			deadlines[i] = 120 * time.Millisecond
+		}
+	}
+	for i, d := range deadlines {
+		wg.Add(1)
+		go func(i int, d time.Duration) {
+			defer wg.Done()
+			wheelWait(base.Add(d))
+			mu.Lock()
+			done[i] = time.Now()
+			mu.Unlock()
+		}(i, d)
+	}
+	wg.Wait()
+	for i, d := range deadlines {
+		if done[i].Before(base.Add(d)) {
+			t.Errorf("waiter %d woke %v early", i, base.Add(d).Sub(done[i]))
+		}
+	}
+	// Every near waiter must resolve well before every far waiter's deadline.
+	for i := 0; i < len(deadlines); i += 2 {
+		if got := done[i].Sub(base); got > 100*time.Millisecond {
+			t.Errorf("near waiter %d took %v, stalled behind a far deadline on another shard", i, got)
+		}
+	}
+}
+
+// TestWheelCancellation abandons waits via context cancellation mid-flight;
+// the pacer must still drain the orphaned registrations without leaking
+// (closing an unlistened channel is free).
+func TestWheelCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- WaitUntilCtx(ctx, time.Now().Add(500*time.Millisecond))
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	wg.Wait()
+	if got := time.Since(start); got > 100*time.Millisecond {
+		t.Errorf("cancelled waits took %v to unwind", got)
+	}
+	close(errs)
+	for err := range errs {
+		if err != context.Canceled {
+			t.Errorf("cancelled wait returned %v", err)
+		}
+	}
+	// The orphaned registrations must still drain from every shard.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		queued := 0
+		for _, w := range wheelShards {
+			w.mu.Lock()
+			queued += w.q.Len()
+			w.mu.Unlock()
+		}
+		if queued == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d orphaned waiters never drained", queued)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWheelStress10k drives 10k concurrent timers with random deadlines —
+// the 512-provider load shape (heartbeats, scan deadlines, RPC timeouts) —
+// and asserts nothing wakes early and the whole batch completes promptly.
+func TestWheelStress10k(t *testing.T) {
+	const n = 10000
+	rng := rand.New(rand.NewSource(42))
+	durations := make([]time.Duration, n)
+	for i := range durations {
+		durations[i] = time.Duration(1+rng.Intn(50)) * time.Millisecond
+	}
+	var wg sync.WaitGroup
+	var early sync.Map
+	base := time.Now()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			deadline := base.Add(durations[i])
+			wheelWait(deadline)
+			if time.Now().Before(deadline) {
+				early.Store(i, deadline.Sub(time.Now()))
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	early.Range(func(k, v any) bool {
+		t.Errorf("timer %v woke %v early", k, v)
+		return true
+	})
+	// 10k timers ending by 50ms should all resolve within a generous bound
+	// even on a loaded CI machine.
+	if elapsed > 2*time.Second {
+		t.Errorf("10k timers took %v", elapsed)
 	}
 }

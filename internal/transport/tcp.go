@@ -1,45 +1,37 @@
 package transport
 
 import (
-	"bytes"
 	"context"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
-// callEnvelope frames one TCP request. Trace/Span carry the caller's span
-// context across the wire (zero = untraced); gob tolerates the fields being
-// absent, so old and new binaries interoperate.
-type callEnvelope struct {
-	From  wire.NodeID
-	Msg   any
-	Trace uint64
-	Span  uint64
-}
+// Wire format: a request is a 4-byte big-endian length prefix followed by a
+// wire.AppendEnvelope body (sender, trace/span context, tagged message); the
+// reply is a prefixed wire.AppendReply body (error string plus optional
+// tagged message). UDP multicast datagrams are the envelope body without the
+// prefix — the datagram boundary already frames it. Frame buffers come from
+// bufpool and are recycled as soon as the body is decoded (the codec copies
+// all payloads out of the input).
 
-// replyEnvelope frames one TCP response.
-type replyEnvelope struct {
-	Msg any
-	Err string
-}
-
-func init() {
-	gob.Register(callEnvelope{})
-	gob.Register(replyEnvelope{})
-	gob.Register(helloMsg{})
-}
+// maxFrame bounds a single request or reply body. The largest legitimate
+// message is a SegWrite near the 64 MB segment ceiling; 256 MB leaves
+// headroom while keeping a corrupt length prefix from allocating the moon.
+const maxFrame = 256 << 20
 
 // TCPNode is a real-network endpoint for the cmd/ daemons: requests travel
-// over TCP (gob-framed), and the multicast channel is emulated by UDP
-// fan-out to the known peer set (seed addresses plus every sender ever
-// heard from — heartbeats make the set converge). A node's ID is its
-// advertised host:port.
+// over TCP (length-prefixed binary codec frames), and the multicast channel
+// is emulated by UDP fan-out to the known peer set (seed addresses plus
+// every sender ever heard from — heartbeats make the set converge). A
+// node's ID is its advertised host:port.
 type TCPNode struct {
 	id      wire.NodeID
 	handler Handler
@@ -66,8 +58,8 @@ func ListenTCP(bind, advertise string, seeds []string, h Handler) (*TCPNode, err
 }
 
 // ListenTCPObs is ListenTCP with observability: every call/serve lands in
-// per-message-type latency and byte series (actual gob-framed wire bytes,
-// not estimates), and span contexts ride the call envelope so traces cross
+// per-message-type latency and byte series (actual framed wire bytes, not
+// estimates), and span contexts ride the call envelope so traces cross
 // machines. A nil o disables all of it.
 func ListenTCPObs(bind, advertise string, seeds []string, h Handler, o *obs.Obs) (*TCPNode, error) {
 	ln, err := net.Listen("tcp", bind)
@@ -112,14 +104,9 @@ func ListenTCPObs(bind, advertise string, seeds []string, h Handler, o *obs.Obs)
 	// Announce ourselves to the seeds so their multicast fan-out includes
 	// this node (pure listeners — clients — would otherwise never hear
 	// heartbeats).
-	n.Multicast(helloMsg{From: n.id})
+	n.Multicast(wire.Hello{From: n.id})
 	return n, nil
 }
-
-// helloMsg introduces a new node to its seeds' peer sets. Receivers learn
-// the sender's address from the envelope; the message itself is ignored by
-// every cast handler.
-type helloMsg struct{ From wire.NodeID }
 
 // ID implements Endpoint.
 func (n *TCPNode) ID() wire.NodeID { return n.id }
@@ -144,6 +131,42 @@ func (c *countingConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
 	c.wr += int64(n)
 	return n, err
+}
+
+// envelopeFrame builds a length-prefixed request frame in a pooled buffer.
+// The caller owns the returned buffer and must bufpool.Put it after writing.
+func envelopeFrame(from wire.NodeID, trace, span uint64, msg any) ([]byte, error) {
+	sz, ok := wire.EnvelopeSize(from, msg)
+	if !ok || sz > maxFrame {
+		return nil, fmt.Errorf("transport: cannot frame %T (encodable=%v)", msg, ok)
+	}
+	buf := bufpool.Get(4 + sz)[:4]
+	binary.BigEndian.PutUint32(buf, uint32(sz))
+	buf, err := wire.AppendEnvelope(buf, from, trace, span, msg)
+	if err != nil {
+		bufpool.Put(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readFrame reads one length-prefixed frame body into a pooled buffer. The
+// caller must bufpool.Put the result once decoded.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	sz := binary.BigEndian.Uint32(hdr[:])
+	if sz > maxFrame {
+		return nil, fmt.Errorf("transport: %d-byte frame exceeds %d limit", sz, maxFrame)
+	}
+	buf := bufpool.Get(int(sz))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		bufpool.Put(buf)
+		return nil, err
+	}
+	return buf, nil
 }
 
 // Call implements Endpoint.
@@ -172,9 +195,18 @@ func (n *TCPNode) doCall(ctx context.Context, to wire.NodeID, req any) (resp any
 	if n.isClosed() {
 		return nil, 0, 0, ErrClosed
 	}
+	var trace, span uint64
+	if sc, ok := obs.FromContext(ctx); ok {
+		trace, span = sc.TraceID, sc.SpanID
+	}
+	frame, err := envelopeFrame(n.id, trace, span, req)
+	if err != nil {
+		return nil, 0, 0, err
+	}
 	d := net.Dialer{}
 	raw, err := d.DialContext(ctx, "tcp", string(to))
 	if err != nil {
+		bufpool.Put(frame)
 		return nil, 0, 0, fmt.Errorf("%w: dial %s: %v", ErrTimeout, to, err)
 	}
 	conn := &countingConn{Conn: raw}
@@ -187,31 +219,40 @@ func (n *TCPNode) doCall(ctx context.Context, to wire.NodeID, req any) (resp any
 	} else {
 		conn.SetDeadline(time.Now().Add(60 * time.Second))
 	}
-	env := callEnvelope{From: n.id, Msg: req}
-	if sc, ok := obs.FromContext(ctx); ok {
-		env.Trace, env.Span = sc.TraceID, sc.SpanID
+	_, werr := conn.Write(frame)
+	bufpool.Put(frame)
+	if werr != nil {
+		return nil, 0, 0, fmt.Errorf("transport: send to %s: %w", to, werr)
 	}
-	if err := gob.NewEncoder(conn).Encode(&env); err != nil {
-		return nil, 0, 0, fmt.Errorf("transport: send to %s: %w", to, err)
-	}
-	var reply replyEnvelope
-	if err := gob.NewDecoder(conn).Decode(&reply); err != nil {
+	rbuf, err := readFrame(conn)
+	if err != nil {
 		return nil, 0, 0, fmt.Errorf("%w: reply from %s: %v", ErrTimeout, to, err)
 	}
-	if reply.Err != "" {
-		return nil, 0, 0, fmt.Errorf("transport: remote %s: %s", to, reply.Err)
+	msg, errStr, derr := wire.DecodeReply(rbuf)
+	bufpool.Put(rbuf)
+	if derr != nil {
+		return nil, 0, 0, fmt.Errorf("transport: reply from %s: %w", to, derr)
 	}
-	return reply.Msg, 0, 0, nil
+	if errStr != "" {
+		return nil, 0, 0, fmt.Errorf("transport: remote %s: %s", to, errStr)
+	}
+	return msg, 0, 0, nil
 }
 
-// Multicast implements Endpoint via UDP fan-out to the known peers.
+// Multicast implements Endpoint via UDP fan-out to the known peers. The
+// datagram is an unprefixed envelope body.
 func (n *TCPNode) Multicast(msg any) {
 	if n.isClosed() {
 		return
 	}
-	var buf bytes.Buffer
-	env := callEnvelope{From: n.id, Msg: msg}
-	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+	sz, ok := wire.EnvelopeSize(n.id, msg)
+	if !ok || sz > 64<<10 {
+		return // not encodable, or would not fit a datagram
+	}
+	buf := bufpool.Get(sz)[:0]
+	buf, err := wire.AppendEnvelope(buf, n.id, 0, 0, msg)
+	if err != nil {
+		bufpool.Put(buf)
 		return
 	}
 	n.mu.Lock()
@@ -226,10 +267,11 @@ func (n *TCPNode) Multicast(msg any) {
 		if err != nil {
 			continue
 		}
-		if _, err := n.udp.WriteToUDP(buf.Bytes(), addr); err == nil {
-			sent += buf.Len()
+		if _, err := n.udp.WriteToUDP(buf, addr); err == nil {
+			sent += len(buf)
 		}
 	}
+	bufpool.Put(buf)
 	if n.cli != nil {
 		n.cli.ObserveCast(msg, sent)
 	}
@@ -288,27 +330,46 @@ func (n *TCPNode) serve(raw net.Conn) {
 	conn := &countingConn{Conn: raw}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(5 * time.Minute))
-	var env callEnvelope
-	if err := gob.NewDecoder(conn).Decode(&env); err != nil {
+	fbuf, err := readFrame(conn)
+	if err != nil {
 		return
 	}
-	n.AddPeer(string(env.From))
+	from, trace, span, req, err := wire.DecodeEnvelope(fbuf)
+	bufpool.Put(fbuf)
+	if err != nil {
+		return
+	}
+	n.AddPeer(string(from))
 	ctx := context.Background()
 	var sp *obs.Span
-	if env.Trace != 0 {
-		ctx = obs.ContextWith(ctx, obs.SpanContext{TraceID: env.Trace, SpanID: env.Span})
-		ctx, sp = n.obs.Tr().Start(ctx, string(n.id), "serve:"+obs.MsgTypeName(env.Msg))
+	if trace != 0 {
+		ctx = obs.ContextWith(ctx, obs.SpanContext{TraceID: trace, SpanID: span})
+		ctx, sp = n.obs.Tr().Start(ctx, string(n.id), "serve:"+obs.MsgTypeName(req))
 	}
 	start := time.Now()
-	resp, err := n.handler.HandleCall(ctx, env.From, env.Msg)
-	sp.SetError(err)
+	resp, herr := n.handler.HandleCall(ctx, from, req)
+	sp.SetError(herr)
 	sp.End()
-	reply := replyEnvelope{Msg: resp}
-	if err != nil {
-		reply.Err = err.Error()
+	errStr := ""
+	if herr != nil {
+		errStr = herr.Error()
 	}
-	gob.NewEncoder(conn).Encode(&reply)
-	n.srv.Observe(env.Msg, int(conn.wr), int(conn.rd), time.Since(start), err)
+	if resp != nil && !wire.Encodable(resp) {
+		errStr = fmt.Sprintf("transport: unencodable response %T", resp)
+		resp = nil
+	}
+	sz, _ := wire.ReplySize(resp, errStr)
+	if sz > maxFrame {
+		resp, errStr = nil, "transport: oversized response"
+		sz, _ = wire.ReplySize(resp, errStr)
+	}
+	rbuf := bufpool.Get(4 + sz)[:4]
+	binary.BigEndian.PutUint32(rbuf, uint32(sz))
+	if rbuf, err = wire.AppendReply(rbuf, resp, errStr); err == nil {
+		conn.Write(rbuf)
+	}
+	bufpool.Put(rbuf)
+	n.srv.Observe(req, int(conn.wr), int(conn.rd), time.Since(start), herr)
 }
 
 func (n *TCPNode) udpLoop() {
@@ -319,12 +380,12 @@ func (n *TCPNode) udpLoop() {
 		if err != nil {
 			return
 		}
-		var env callEnvelope
-		if err := gob.NewDecoder(bytes.NewReader(buf[:sz])).Decode(&env); err != nil {
+		from, _, _, msg, err := wire.DecodeEnvelope(buf[:sz])
+		if err != nil {
 			continue
 		}
-		n.AddPeer(string(env.From))
-		n.handler.HandleCast(env.From, env.Msg)
+		n.AddPeer(string(from))
+		n.handler.HandleCast(from, msg)
 	}
 }
 

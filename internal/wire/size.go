@@ -1,13 +1,18 @@
 package wire
 
-// Approximate on-wire sizes, used by the simulated fabric to charge NIC
-// transmission time. Sizes only need to be right to first order: control
-// messages are ~a hundred bytes, data messages are dominated by payload.
+// On-wire sizes, used by the simulated fabric to charge NIC transmission
+// time. Registered wire messages report their exact binary-codec size plus
+// a fixed envelope estimate, so the fabric charges for the same bytes the
+// TCP transport actually frames. Unregistered types (test handlers,
+// baseline-system messages without a Sizer) fall back to a first-order
+// header estimate.
 const (
-	// headerBytes approximates transport framing plus small struct fields.
+	// frameOverhead approximates transport framing around one message: the
+	// 4-byte length prefix plus the call envelope (sender, trace/span ids).
+	frameOverhead = 40
+	// headerBytes approximates transport framing plus small struct fields
+	// for types without a binary codec.
 	headerBytes = 96
-	// entryBytes approximates one serialized LocEntry / OwnerInfo / DirEntry.
-	entryBytes = 48
 )
 
 // Sizer lets message types outside this package (the baseline systems')
@@ -16,53 +21,15 @@ type Sizer interface {
 	WireSize() int
 }
 
-// SizeOf estimates the serialized size of a message in bytes.
+// SizeOf returns the serialized size of a message in bytes: exact (codec
+// bytes plus frame overhead) for registered wire messages, estimated for
+// everything else.
 func SizeOf(msg any) int {
 	if s, ok := msg.(Sizer); ok {
 		return s.WireSize()
 	}
-	switch m := msg.(type) {
-	case SegWrite:
-		return headerBytes + len(m.Data)
-	case *SegWrite:
-		return headerBytes + len(m.Data)
-	case SegReadResp:
-		return headerBytes + len(m.Data) + len(m.Owners)*entryBytes
-	case *SegReadResp:
-		return headerBytes + len(m.Data) + len(m.Owners)*entryBytes
-	case SegCreate:
-		return headerBytes + len(m.Data)
-	case *SegCreate:
-		return headerBytes + len(m.Data)
-	case SegFetchResp:
-		return headerBytes + len(m.Data)
-	case *SegFetchResp:
-		return headerBytes + len(m.Data)
-	case SegFetchDeltaResp:
-		n := headerBytes + len(m.Full)
-		for _, r := range m.Ranges {
-			n += len(r.Data) + 16
-		}
-		return n
-	case *SegFetchDeltaResp:
-		n := headerBytes + len(m.Full)
-		for _, r := range m.Ranges {
-			n += len(r.Data) + 16
-		}
-		return n
-	case LocRefresh:
-		return headerBytes + len(m.Entries)*entryBytes
-	case *LocRefresh:
-		return headerBytes + len(m.Entries)*entryBytes
-	case LocQueryResp:
-		return headerBytes + len(m.Owners)*entryBytes
-	case *LocQueryResp:
-		return headerBytes + len(m.Owners)*entryBytes
-	case NSReadDirResp:
-		return headerBytes + len(m.Entries)*entryBytes
-	case *NSReadDirResp:
-		return headerBytes + len(m.Entries)*entryBytes
-	default:
-		return headerBytes
+	if n, ok := EncodedSize(msg); ok {
+		return frameOverhead + n
 	}
+	return headerBytes
 }

@@ -174,6 +174,12 @@ type Heartbeat struct {
 	Load LoadInfo
 }
 
+// Hello introduces a peer on a freshly dialed transport connection so the
+// receiver can learn the dialer's canonical address (TCP peer discovery).
+type Hello struct {
+	From NodeID
+}
+
 // ---------------------------------------------------------------------------
 // Namespace server RPCs
 
@@ -596,7 +602,7 @@ type MigrateRequest struct {
 
 func init() {
 	for _, m := range []any{
-		Heartbeat{},
+		Heartbeat{}, Hello{},
 		NSLookup{}, NSLookupResp{}, NSCreate{}, NSCreateResp{},
 		NSRemove{}, NSRemoveResp{}, NSMkdir{}, NSRmdir{},
 		NSReadDir{}, NSReadDirResp{}, NSGenericResp{},
