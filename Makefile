@@ -3,7 +3,7 @@
 # parallel 2PC, buffer pooling) and the harness hot path (wire codec,
 # sharded timer wheel, per-link fabric state) clean under the race detector.
 
-RACE_PKGS := ./internal/core ./internal/segstore ./internal/provider ./internal/cluster ./internal/wire ./internal/simtime ./internal/simnet
+RACE_PKGS := ./internal/core ./internal/segstore ./internal/provider ./internal/cluster ./internal/wire ./internal/simtime ./internal/simnet ./internal/proxy
 
 .PHONY: check build test vet race bench
 
@@ -34,3 +34,8 @@ bench-harness:
 # per-node control bytes at 128/256/512 providers → BENCH_harness.json.
 scale:
 	go run ./cmd/sorrento-bench -exp harness -metrics-out ''
+
+# Gateway open-loop sweep: 100k thin connections through 4 proxies, offered
+# load vs p50/p99 latency and proxy CPU → BENCH_proxy.json.
+bench-proxy:
+	go run ./cmd/sorrento-bench -exp proxy -metrics-out ''

@@ -1,0 +1,109 @@
+// Command sorrento-admin drives online maintenance against a live volume:
+// it drains and retires providers (zero acked-commit loss — placement stops
+// choosing a draining node while a background worker migrates its segments
+// away) and inspects gateway proxies.
+//
+// Usage:
+//
+//	sorrento-admin drain 127.0.0.1:7001        # start draining a provider
+//	sorrento-admin drain-abort 127.0.0.1:7001  # cancel an in-progress drain
+//	sorrento-admin status 127.0.0.1:7001       # drain/storage state
+//	sorrento-admin retire 127.0.0.1:7001       # remove a fully drained node
+//	sorrento-admin proxy-status 127.0.0.1:7100 # gateway soft state + traffic
+//
+// Every subcommand is a single RPC to the target node; retire fails unless
+// the provider is draining and holds no segments or shadow sessions, so the
+// safe sequence is drain, poll status until segments=0 shadows=0, retire.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	timeout := flag.Duration("timeout", 10*time.Second, "RPC timeout")
+	bind := flag.String("bind", "127.0.0.1:0", "local address to issue the RPC from")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) != 2 {
+		usage()
+	}
+	verb, target := args[0], wire.NodeID(args[1])
+
+	var req any
+	switch verb {
+	case "drain":
+		req = wire.AdminDrain{Node: target}
+	case "drain-abort":
+		req = wire.AdminDrain{Node: target, Abort: true}
+	case "status":
+		req = wire.AdminStatus{Node: target}
+	case "retire":
+		req = wire.AdminRetire{Node: target}
+	case "proxy-status":
+		req = wire.ProxyStatus{Node: target}
+	default:
+		usage()
+	}
+
+	network := &transport.TCPNetwork{Bind: *bind}
+	ep, err := network.Join(wire.NodeID(*bind), silentHandler{})
+	if err != nil {
+		log.Fatalf("sorrento-admin: %v", err)
+	}
+	defer ep.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	resp, err := ep.Call(ctx, target, req)
+	if err != nil {
+		log.Fatalf("sorrento-admin: %s %s: %v", verb, target, err)
+	}
+
+	switch r := resp.(type) {
+	case wire.GenericResp:
+		if !r.OK {
+			log.Fatalf("sorrento-admin: %s %s: %s", verb, target, r.Err)
+		}
+		fmt.Printf("%s %s: ok\n", verb, target)
+	case wire.AdminStatusResp:
+		if !r.OK {
+			log.Fatalf("sorrento-admin: %s %s: %s", verb, target, r.Err)
+		}
+		state := "serving"
+		if r.Draining {
+			state = "draining"
+		}
+		fmt.Printf("node:      %s\nstate:     %s\nsegments:  %d\nshadows:   %d\nfree:      %d bytes\ntotal:     %d bytes\n",
+			r.Node, state, r.Segments, r.Shadows, r.FreeBytes, r.TotalBytes)
+	case wire.ProxyStatusResp:
+		if !r.OK {
+			log.Fatalf("sorrento-admin: %s %s: %s", verb, target, r.Err)
+		}
+		fmt.Printf("node:      %s\nsessions:  %d\nreads:     %d\nrequests:  %d\nerrors:    %d\nproviders: %d\n",
+			r.Node, r.Sessions, r.Reads, r.Requests, r.Errors, r.Providers)
+	default:
+		log.Fatalf("sorrento-admin: unexpected response %T", resp)
+	}
+}
+
+// silentHandler drops inbound traffic: the admin tool only issues requests.
+type silentHandler struct{}
+
+func (silentHandler) HandleCall(context.Context, wire.NodeID, any) (any, error) {
+	return nil, transport.ErrNoHandler
+}
+func (silentHandler) HandleCast(wire.NodeID, any) {}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sorrento-admin [-timeout d] <drain|drain-abort|status|retire|proxy-status> <node-address>")
+	os.Exit(2)
+}

@@ -36,21 +36,25 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|harness|all")
+	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|harness|proxy|all (harness and proxy are substrate benchmarks, not part of 'all')")
 	quick := flag.Bool("quick", false, "reduced parameters (faster, noisier)")
 	obsOn := flag.Bool("obs", true, "instrument each run and write a metrics snapshot")
 	metricsOut := flag.String("metrics-out", ".", "directory for per-run <exp>-metrics.{json,prom} snapshots (empty disables)")
 	maxPar := flag.Int("maxparallel", 0, "override clients' MaxParallelIO fan-out width (0 = default)")
 	faults := flag.Bool("faults", false, "fig13: partition the victim instead of killing it (exercises retry/failover + resync)")
 	providers := flag.String("providers", "", "harness: comma-separated cluster sizes (default 128,256,512)")
-	benchOut := flag.String("bench-out", "BENCH_harness.json", "harness: output path for the sweep JSON (empty disables)")
+	benchOut := flag.String("bench-out", "", "harness/proxy: output path for the sweep JSON (default BENCH_<exp>.json; '-' disables)")
+	conns := flag.Int("conns", 0, "proxy: simulated client connection population (default 100000)")
+	proxies := flag.Int("proxies", 0, "proxy: gateway count the load funnels through (default 4)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Parse()
 
 	bench.MaxParallelIO = *maxPar
 	fig13Faults = *faults
-	harnessOut = *benchOut
+	benchOutPath = *benchOut
+	proxyConns = *conns
+	proxyCount = *proxies
 	if *providers != "" {
 		sizes, err := parseSizes(*providers)
 		if err != nil {
@@ -97,6 +101,7 @@ func run() int {
 		"fig15":     runFig15,
 		"ablations": runAblations,
 		"harness":   runHarness,
+		"proxy":     runProxy,
 	}
 	order := []string{"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablations"}
 
@@ -286,11 +291,27 @@ func runFig15(quick bool) error {
 	return nil
 }
 
-// harnessProviders and harnessOut are set by -providers and -bench-out.
+// harnessProviders, benchOutPath, proxyConns and proxyCount are set by the
+// -providers, -bench-out, -conns and -proxies flags.
 var (
 	harnessProviders []int
-	harnessOut       string
+	benchOutPath     string
+	proxyConns       int
+	proxyCount       int
 )
+
+// benchOutFor resolves -bench-out for a substrate sweep: empty means the
+// conventional BENCH_<exp>.json, "-" disables the file.
+func benchOutFor(exp string) string {
+	switch benchOutPath {
+	case "":
+		return "BENCH_" + exp + ".json"
+	case "-":
+		return ""
+	default:
+		return benchOutPath
+	}
+}
 
 func runHarness(quick bool) error {
 	p := bench.HarnessParams{Providers: harnessProviders}
@@ -306,11 +327,42 @@ func runHarness(quick bool) error {
 		return err
 	}
 	res.Report(os.Stdout)
-	if harnessOut != "" {
-		if err := res.WriteJSON(harnessOut); err != nil {
-			return fmt.Errorf("write %s: %w", harnessOut, err)
+	if out := benchOutFor("harness"); out != "" {
+		if err := res.WriteJSON(out); err != nil {
+			return fmt.Errorf("write %s: %w", out, err)
 		}
-		fmt.Printf("wrote %s\n", harnessOut)
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}
+
+func runProxy(quick bool) error {
+	p := bench.ProxyParams{Conns: proxyConns, Proxies: proxyCount}
+	if quick {
+		if p.Conns <= 0 {
+			p.Conns = 20_000
+		}
+		if p.Proxies <= 0 {
+			p.Proxies = 2
+		}
+		p.Edges = 4
+		p.Providers = 8
+		p.Rates = []float64{2_000, 8_000, 16_000}
+		p.Scale.Time = 0.5
+		p.Warmup = 500 * time.Millisecond
+		p.Window = 2 * time.Second
+		p.Files = 16
+	}
+	res, err := bench.RunProxy(p)
+	if err != nil {
+		return err
+	}
+	res.Report(os.Stdout)
+	if out := benchOutFor("proxy"); out != "" {
+		if err := res.WriteJSON(out); err != nil {
+			return fmt.Errorf("write %s: %w", out, err)
+		}
+		fmt.Printf("wrote %s\n", out)
 	}
 	return nil
 }

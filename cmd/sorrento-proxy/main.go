@@ -1,0 +1,90 @@
+// Command sorrento-proxy runs a stateless Sorrento gateway over real
+// TCP/UDP: it terminates the thin client protocol (path-and-offset reads,
+// writes, commits — no membership or placement knowledge on the client) and
+// speaks the full Sorrento protocol to the providers through an embedded
+// core client. Proxies keep only soft state, so any number of them can run
+// behind a load balancer and a crashed proxy loses nothing a client cannot
+// redo by reconnecting.
+//
+// Fronting the two-node volume from the sorrentod example:
+//
+//	sorrento-proxy -listen 127.0.0.1:7100 -ns 127.0.0.1:7000 -seeds 127.0.0.1:7001
+//
+// Thin clients then need only the proxy address; sorrento-admin inspects
+// the gateway with `sorrento-admin proxy-status 127.0.0.1:7100`.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/proxy"
+	"repro/internal/simtime"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", ":7100", "TCP/UDP address to listen on")
+	advertise := flag.String("advertise", "", "address peers use to reach this proxy (default: listen address)")
+	ns := flag.String("ns", "127.0.0.1:7000", "namespace server address")
+	seeds := flag.String("seeds", "", "comma-separated provider addresses (membership bootstrap)")
+	sessTTL := flag.Duration("session-ttl", 5*time.Minute, "idle write sessions expire after this long")
+	readTTL := flag.Duration("read-ttl", 2*time.Second, "cached read handles re-resolve after this long")
+	metrics := flag.String("metrics", ":9331", "HTTP address for /metrics, /metrics.json and /debug/trace")
+	obsOn := flag.Bool("obs", true, "collect metrics and traces (off = zero observability overhead)")
+	flag.Parse()
+
+	clock := simtime.Real()
+	var seedList []string
+	if *seeds != "" {
+		seedList = strings.Split(*seeds, ",")
+	}
+	network := &transport.TCPNetwork{Bind: *listen, Seeds: seedList}
+	adv := *advertise
+	if adv == "" {
+		adv = *listen
+	}
+
+	var o *obs.Obs
+	if *obsOn {
+		o = obs.New(clock)
+		network.Obs = o
+	}
+
+	cfg := proxy.Config{
+		Client: core.Config{
+			Namespace: wire.NodeID(*ns),
+			Obs:       o,
+		},
+		SessionTTL: *sessTTL,
+		ReadTTL:    *readTTL,
+	}
+	p, err := proxy.New(adv, clock, network, cfg)
+	if err != nil {
+		log.Fatalf("sorrento-proxy: %v", err)
+	}
+	defer p.Close()
+	if err := p.Client().WaitForProviders(1, 10*time.Second); err != nil {
+		log.Printf("sorrento-proxy: no providers visible yet: %v", err)
+	}
+	log.Printf("sorrento-proxy: gateway %s serving (ns %s)", p.ID(), *ns)
+
+	if o != nil && *metrics != "" {
+		srv := o.ServeMetrics(*metrics, func(err error) { log.Printf("sorrento-proxy: metrics server: %v", err) })
+		defer srv.Close()
+		log.Printf("sorrento-proxy: metrics on http://%s/metrics", *metrics)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("sorrento-proxy: shutting down")
+}

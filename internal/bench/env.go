@@ -113,6 +113,10 @@ type SorrentoOptions struct {
 	DiskCapacity int64 // paper-sized; scaled internally
 	Provider     provider.Config
 	Heartbeat    time.Duration
+	// DiskModel overrides the scaled drive model (zero = derived from the
+	// scale). The proxy benchmark uses it to model a cache-resident read
+	// working set so provider seeks don't mask the gateway tier.
+	DiskModel disk.Model
 	// Sizing overrides the scaled segment sizing formula (zero = derived
 	// from the scale). Experiments sensitive to the segment-to-file ratio
 	// set it so that ratio matches the paper despite the scaled sizes.
@@ -143,11 +147,14 @@ func NewSorrento(scale Scale, opts SorrentoOptions) (*SorrentoEnv, error) {
 	if opts.Obs == nil {
 		opts.Obs = Obs
 	}
+	if opts.DiskModel.TransferRate == 0 {
+		opts.DiskModel = scale.DiskModel()
+	}
 	c, err := cluster.New(cluster.Options{
 		Providers:    opts.Providers,
 		Scale:        scale.Time,
 		Net:          scale.NetConfig(),
-		DiskModel:    scale.DiskModel(),
+		DiskModel:    opts.DiskModel,
 		DiskCapacity: scale.Bytes(opts.DiskCapacity),
 		Provider:     opts.Provider,
 		Sizing:       sizing,

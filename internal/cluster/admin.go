@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proxy"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// This file is the harness side of the admin plane: attaching proxy
+// gateways to a cluster and driving online drain/retire of providers over
+// the same admin RPC surface sorrento-admin uses.
+
+// AdminNode is the node ID of the cluster's built-in admin endpoint.
+const AdminNode wire.NodeID = "adm"
+
+// NewProxy attaches a stateless proxy gateway to the cluster. Its embedded
+// client is configured like a regular cluster client (namespace, membership
+// cadence, shadow-TTL floor, observability); mutate tweaks the final config.
+func (c *Cluster) NewProxy(name string, mutate func(*proxy.Config)) (*proxy.Proxy, error) {
+	cfg := proxy.Config{Client: core.Config{
+		Namespace:  NamespaceNode,
+		Sizing:     c.opts.Sizing,
+		Membership: c.opts.Provider.Membership,
+		Seed:       int64(len(c.Proxies()) + 501),
+		Obs:        c.opts.Obs,
+	}}
+	if floor := c.Clock.Modeled(5 * time.Second); floor > 5*time.Minute {
+		cfg.Client.ShadowTTL = floor
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	px, err := proxy.New(name, c.Clock, c.Fabric, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.proxies = append(c.proxies, px)
+	c.mu.Unlock()
+	return px, nil
+}
+
+// Proxies returns the attached proxies.
+func (c *Cluster) Proxies() []*proxy.Proxy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*proxy.Proxy, len(c.proxies))
+	copy(out, c.proxies)
+	return out
+}
+
+// KillProxy crashes a proxy abruptly (soft state lost, endpoint silent) and
+// forgets it. Thin clients recover by failing over to another proxy or by
+// reconnecting once a replacement joins under the same name.
+func (c *Cluster) KillProxy(px *proxy.Proxy) {
+	c.mu.Lock()
+	for i, q := range c.proxies {
+		if q == px {
+			c.proxies = append(c.proxies[:i], c.proxies[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+	px.Kill()
+	c.Fabric.Remove(px.ID()) // free the node ID for a restarted replacement
+}
+
+// adminHandler ignores inbound traffic; the admin endpoint only issues
+// requests.
+type adminHandler struct{}
+
+func (adminHandler) HandleCall(context.Context, wire.NodeID, any) (any, error) {
+	return nil, transport.ErrNoHandler
+}
+func (adminHandler) HandleCast(wire.NodeID, any) {}
+
+// adminEndpoint lazily joins the fabric as the admin node.
+func (c *Cluster) adminEndpoint() (transport.Endpoint, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.adminEP != nil {
+		return c.adminEP, nil
+	}
+	ep, err := c.Fabric.Join(AdminNode, adminHandler{})
+	if err != nil {
+		return nil, err
+	}
+	c.adminEP = ep
+	return ep, nil
+}
+
+// adminCall issues one admin RPC with a wall-floored modeled timeout.
+func (c *Cluster) adminCall(to wire.NodeID, req any) (any, error) {
+	ep, err := c.adminEndpoint()
+	if err != nil {
+		return nil, err
+	}
+	timeout := 10 * time.Second
+	if floor := c.Clock.Modeled(100 * time.Millisecond); floor > timeout {
+		timeout = floor
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return ep.Call(ctx, to, req)
+}
+
+// DrainProvider marks a provider draining over the admin RPC surface: its
+// heartbeats start carrying Draining=true and its drain worker begins
+// evacuating segments.
+func (c *Cluster) DrainProvider(id wire.NodeID) error {
+	resp, err := c.adminCall(id, wire.AdminDrain{Node: id})
+	if err != nil {
+		return err
+	}
+	if g, ok := resp.(wire.GenericResp); !ok || !g.OK {
+		return fmt.Errorf("cluster: drain %s: %s", id, g.Err)
+	}
+	return nil
+}
+
+// AdminStatus fetches a provider's drain/storage state.
+func (c *Cluster) AdminStatus(id wire.NodeID) (wire.AdminStatusResp, error) {
+	resp, err := c.adminCall(id, wire.AdminStatus{Node: id})
+	if err != nil {
+		return wire.AdminStatusResp{}, err
+	}
+	st, ok := resp.(wire.AdminStatusResp)
+	if !ok {
+		return wire.AdminStatusResp{}, fmt.Errorf("cluster: unexpected status response %T", resp)
+	}
+	if !st.OK {
+		return st, fmt.Errorf("cluster: status %s: %s", id, st.Err)
+	}
+	return st, nil
+}
+
+// AwaitDrained polls a draining provider until its store is fully
+// evacuated (no committed segments, no open shadows) or the modeled
+// timeout passes.
+func (c *Cluster) AwaitDrained(id wire.NodeID, timeout time.Duration) error {
+	deadline := c.Clock.Now() + timeout
+	for {
+		st, err := c.AdminStatus(id)
+		if err == nil && st.Draining && st.Segments == 0 && st.Shadows == 0 {
+			return nil
+		}
+		if c.Clock.Now() > deadline {
+			if err != nil {
+				return fmt.Errorf("cluster: drain of %s not finished after %v: %v", id, timeout, err)
+			}
+			return fmt.Errorf("cluster: drain of %s not finished after %v: %d segments, %d shadows",
+				id, timeout, st.Segments, st.Shadows)
+		}
+		c.Clock.Sleep(200 * time.Millisecond)
+	}
+}
+
+// RetireProvider retires a fully drained provider: the daemon acknowledges,
+// shuts itself down, and the cluster forgets it (it is not parked in the
+// crash graves — retirement is permanent). Peers age it out of membership
+// through the usual heartbeat silence window.
+func (c *Cluster) RetireProvider(id wire.NodeID) error {
+	resp, err := c.adminCall(id, wire.AdminRetire{Node: id})
+	if err != nil {
+		return err
+	}
+	if g, ok := resp.(wire.GenericResp); !ok || !g.OK {
+		return fmt.Errorf("cluster: retire %s: %s", id, g.Err)
+	}
+	c.mu.Lock()
+	delete(c.providers, id)
+	delete(c.cfgs, id)
+	c.mu.Unlock()
+	return nil
+}
+
+// ProxyStatus fetches a proxy's serving statistics over the admin surface.
+func (c *Cluster) ProxyStatus(id wire.NodeID) (wire.ProxyStatusResp, error) {
+	resp, err := c.adminCall(id, wire.ProxyStatus{Node: id})
+	if err != nil {
+		return wire.ProxyStatusResp{}, err
+	}
+	st, ok := resp.(wire.ProxyStatusResp)
+	if !ok {
+		return wire.ProxyStatusResp{}, fmt.Errorf("cluster: unexpected proxy status response %T", resp)
+	}
+	return st, nil
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/namespace"
 	"repro/internal/obs"
 	"repro/internal/provider"
+	"repro/internal/proxy"
 	"repro/internal/segstore"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
@@ -88,6 +89,8 @@ type Cluster struct {
 	mu        sync.Mutex
 	providers map[wire.NodeID]*provider.Provider
 	clients   []*core.Client
+	proxies   []*proxy.Proxy
+	adminEP   transport.Endpoint
 	cfgs      map[wire.NodeID]provider.Config
 	// graves keeps the segment store of each crashed provider — the modeled
 	// equivalent of data surviving on disk across a machine crash — so
@@ -336,6 +339,9 @@ func (c *Cluster) Clients() []*core.Client {
 func (c *Cluster) Stop() {
 	for _, cl := range c.Clients() {
 		cl.Close()
+	}
+	for _, px := range c.Proxies() {
+		px.Close()
 	}
 	for _, p := range c.Providers() {
 		p.Stop()

@@ -142,7 +142,30 @@ type Client struct {
 
 	mu     sync.Mutex
 	probes map[uint64]chan wire.LocProbeResp
+
+	// fallback, when set, receives every incoming call the client itself
+	// does not handle. It lets a co-located service — the proxy gateway —
+	// serve its own request protocol on the client's endpoint instead of
+	// occupying a second node identity.
+	fallback atomic.Pointer[transport.Handler]
 }
+
+// SetRequestHandler installs h as the fallback for incoming calls the
+// client does not consume (everything but probe responses). Install before
+// traffic arrives; passing nil removes the fallback.
+func (c *Client) SetRequestHandler(h transport.Handler) {
+	if h == nil {
+		c.fallback.Store(nil)
+		return
+	}
+	c.fallback.Store(&h)
+}
+
+// Name returns the node name the client joined the network as.
+func (c *Client) Name() string { return c.name }
+
+// Clock returns the client's modeled clock.
+func (c *Client) Clock() *simtime.Clock { return c.clock }
 
 // NewClient joins the network as node `name` and begins tracking provider
 // membership.
@@ -201,7 +224,7 @@ func (c *Client) Members() *membership.Manager { return c.members }
 // clientHandler receives probe responses and heartbeats.
 type clientHandler struct{ c *Client }
 
-func (h clientHandler) HandleCall(_ context.Context, _ wire.NodeID, req any) (any, error) {
+func (h clientHandler) HandleCall(ctx context.Context, from wire.NodeID, req any) (any, error) {
 	if pr, ok := req.(wire.LocProbeResp); ok {
 		h.c.mu.Lock()
 		ch := h.c.probes[pr.Nonce]
@@ -214,12 +237,19 @@ func (h clientHandler) HandleCall(_ context.Context, _ wire.NodeID, req any) (an
 		}
 		return wire.GenericResp{OK: true}, nil
 	}
+	if fb := h.c.fallback.Load(); fb != nil {
+		return (*fb).HandleCall(ctx, from, req)
+	}
 	return nil, transport.ErrNoHandler
 }
 
-func (h clientHandler) HandleCast(_ wire.NodeID, msg any) {
+func (h clientHandler) HandleCast(from wire.NodeID, msg any) {
 	if hb, ok := msg.(wire.Heartbeat); ok {
 		h.c.members.ObserveHeartbeat(hb)
+		return
+	}
+	if fb := h.c.fallback.Load(); fb != nil {
+		(*fb).HandleCast(from, msg)
 	}
 }
 
@@ -459,12 +489,24 @@ func (c *Client) probe(seg ids.SegID) ([]wire.OwnerInfo, error) {
 	}
 }
 
-// candidates snapshots live providers for placement.
+// candidates snapshots live providers for placement. Draining providers
+// (admin plane: being evacuated ahead of retirement) are excluded so no new
+// data lands on them, unless every live provider is draining — then placing
+// on a draining node still beats failing the write.
 func (c *Client) candidates() []placement.Candidate {
 	loads := c.members.Loads()
 	out := make([]placement.Candidate, 0, len(loads))
+	var all []placement.Candidate
 	for node, l := range loads {
-		out = append(out, placement.Candidate{Node: node, Load: l.Load, FreeBytes: l.FreeBytes})
+		cand := placement.Candidate{Node: node, Load: l.Load, FreeBytes: l.FreeBytes}
+		all = append(all, cand)
+		if l.Draining {
+			continue
+		}
+		out = append(out, cand)
+	}
+	if len(out) == 0 {
+		return all
 	}
 	return out
 }

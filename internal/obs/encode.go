@@ -46,6 +46,7 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 			snap.Quantiles = map[string]float64{
 				"0.5":  v.Quantile(0.5),
 				"0.9":  v.Quantile(0.9),
+				"0.95": v.Quantile(0.95),
 				"0.99": v.Quantile(0.99),
 			}
 		}
@@ -118,6 +119,7 @@ func WritePrometheus(w io.Writer, reg *Registry) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, fam[0].m.kind()); err != nil {
 			return err
 		}
+		histograms := false
 		for _, s := range fam {
 			switch v := s.m.(type) {
 			case *Counter:
@@ -127,6 +129,7 @@ func WritePrometheus(w io.Writer, reg *Registry) error {
 			case *funcGauge:
 				fmt.Fprintf(w, "%s%s %s\n", name, promLabels(v.labels()), promFloat(v.fn()))
 			case *Histogram:
+				histograms = true
 				var cum int64
 				for i, bound := range v.bounds {
 					cum += v.counts[i].Load()
@@ -137,6 +140,27 @@ func WritePrometheus(w io.Writer, reg *Registry) error {
 				fmt.Fprintf(w, "%s_sum%s %s\n", name, promLabels(v.labels()), promFloat(v.Sum()))
 				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(v.labels()), v.Count()); err != nil {
 					return err
+				}
+			}
+		}
+		// Pre-computed quantiles ride in a sibling gauge family (prometheus
+		// histogram families admit only _bucket/_sum/_count series, and the
+		// text format keeps each family contiguous under one # TYPE line).
+		if histograms {
+			qname := name + "_quantile"
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", qname); err != nil {
+				return err
+			}
+			for _, s := range fam {
+				v, ok := s.m.(*Histogram)
+				if !ok {
+					continue
+				}
+				for _, q := range [...]float64{0.5, 0.95, 0.99} {
+					if _, err := fmt.Fprintf(w, "%s%s %s\n", qname,
+						promLabels(v.labels(), L("quantile", promFloat(q))), promFloat(v.Quantile(q))); err != nil {
+						return err
+					}
 				}
 			}
 		}

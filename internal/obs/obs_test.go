@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
 	"net/http/httptest"
 	"strings"
@@ -280,5 +281,80 @@ func TestRegisterResource(t *testing.T) {
 	}
 	if !strings.Contains(text, `sorrento_resource_requests_total{node="p0",resource="p0/disk"} 1`) {
 		t.Fatalf("requests not exported:\n%s", text)
+	}
+}
+
+func TestPrometheusQuantileFamily(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sorrento_q_seconds", []float64{0.1, 1, 10}, L("op", "read"))
+	for i := 0; i < 100; i++ {
+		h.Observe(0.05) // all in the first bucket
+	}
+	h2 := r.Histogram("sorrento_q_seconds", []float64{0.1, 1, 10}, L("op", "write"))
+	h2.Observe(5)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	// The pre-computed quantiles ride in a sibling gauge family, emitted
+	// after the histogram family so both stay contiguous under their own
+	// # TYPE lines.
+	for _, want := range []string{
+		"# TYPE sorrento_q_seconds histogram",
+		"# TYPE sorrento_q_seconds_quantile gauge",
+		`sorrento_q_seconds_quantile{op="read",quantile="0.5"}`,
+		`sorrento_q_seconds_quantile{op="read",quantile="0.95"}`,
+		`sorrento_q_seconds_quantile{op="read",quantile="0.99"}`,
+		`sorrento_q_seconds_quantile{op="write",quantile="0.99"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Index(text, "# TYPE sorrento_q_seconds_quantile gauge") <
+		strings.Index(text, `sorrento_q_seconds_count{op="write"}`) {
+		t.Fatalf("quantile family interleaves the histogram family:\n%s", text)
+	}
+	// All of op=read landed below 0.1, so every exported quantile must too.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, `sorrento_q_seconds_quantile{op="read"`) {
+			var v float64
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &v); err != nil {
+				t.Fatalf("bad quantile line %q: %v", line, err)
+			}
+			if v <= 0 || v > 0.1 {
+				t.Fatalf("read quantile %v outside (0, 0.1]: %q", v, line)
+			}
+		}
+	}
+}
+
+func TestSnapshotQuantileKeys(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sorrento_snap_seconds", nil)
+	h.ObserveDuration(3 * time.Millisecond)
+	var snap *MetricSnapshot
+	for _, m := range r.Snapshot() {
+		if m.Name == "sorrento_snap_seconds" {
+			m := m
+			snap = &m
+		}
+	}
+	if snap == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	for _, q := range []string{"0.5", "0.9", "0.95", "0.99"} {
+		v, ok := snap.Quantiles[q]
+		if !ok {
+			t.Fatalf("snapshot quantiles missing %q: %v", q, snap.Quantiles)
+		}
+		if v <= 0 {
+			t.Fatalf("quantile %q is %v, want > 0", q, v)
+		}
+	}
+	if snap.Quantiles["0.5"] > snap.Quantiles["0.99"] {
+		t.Fatalf("quantiles not monotone: %v", snap.Quantiles)
 	}
 }

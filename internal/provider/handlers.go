@@ -96,6 +96,21 @@ func (h *handler) HandleCall(ctx context.Context, from wire.NodeID, req any) (an
 		return p.handleReplicate(m), nil
 	case wire.MigrateRequest:
 		return genResp(p.migrateSegment(m.Seg, m.Dest)), nil
+	case wire.AdminDrain:
+		if m.Node != "" && m.Node != p.id {
+			return wire.GenericResp{Err: fmt.Sprintf("provider %s: drain addressed to %s", p.id, m.Node)}, nil
+		}
+		return genResp(p.Drain(m.Abort)), nil
+	case wire.AdminStatus:
+		if m.Node != "" && m.Node != p.id {
+			return wire.AdminStatusResp{Err: fmt.Sprintf("provider %s: status addressed to %s", p.id, m.Node)}, nil
+		}
+		return p.AdminState(), nil
+	case wire.AdminRetire:
+		if m.Node != "" && m.Node != p.id {
+			return wire.GenericResp{Err: fmt.Sprintf("provider %s: retire addressed to %s", p.id, m.Node)}, nil
+		}
+		return genResp(p.Retire()), nil
 	default:
 		return nil, fmt.Errorf("provider %s: unknown request %T", p.id, req)
 	}

@@ -52,6 +52,11 @@ func (p *Provider) migrationTick() {
 	if !p.cfg.Migration.Enabled && !p.cfg.Migration.LocalityEnabled {
 		return
 	}
+	// A draining node is already moving everything it has; the balance
+	// triggers would only fight the drain worker over the same segments.
+	if p.draining.Load() {
+		return
+	}
 	p.mu.Lock()
 	if p.migrBusy {
 		p.mu.Unlock()

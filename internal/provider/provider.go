@@ -10,6 +10,7 @@ import (
 	"context"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/disk"
@@ -114,6 +115,12 @@ type Provider struct {
 	pulling  map[ids.SegID]bool        // replica pulls in flight (coalesced)
 	migrBusy bool                      // one active migration per node (§3.7.1)
 	rng      *rand.Rand
+
+	// Drain state (admin plane): draining is gossiped in heartbeats so the
+	// whole cluster stops placing new data here; drainStop cancels the
+	// background drain worker on abort.
+	draining  atomic.Bool
+	drainStop chan struct{} // under mu
 
 	// Membership events are coalesced into a single worker goroutine: at a
 	// 512-node mass join a goroutine-per-event design parks tens of
@@ -344,6 +351,7 @@ func (p *Provider) loadInfo() wire.LoadInfo {
 		IOWaitEWMA: p.ioEWMA.Value(),
 		FreeBytes:  d.FreeBytes(),
 		TotalBytes: d.Capacity(),
+		Draining:   p.draining.Load(),
 	}
 }
 
@@ -704,8 +712,17 @@ func (p *Provider) rackMap() map[wire.NodeID]string {
 func (p *Provider) candidates() []placement.Candidate {
 	loads := p.members.Loads()
 	out := make([]placement.Candidate, 0, len(loads))
+	var all []placement.Candidate // fallback when every live node is draining
 	for node, l := range loads {
-		out = append(out, placement.Candidate{Node: node, Load: l.Load, FreeBytes: l.FreeBytes})
+		c := placement.Candidate{Node: node, Load: l.Load, FreeBytes: l.FreeBytes}
+		all = append(all, c)
+		if l.Draining {
+			continue
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return all
 	}
 	return out
 }

@@ -91,6 +91,23 @@ const (
 	tagSyncNotify
 	tagReplicateNotify
 	tagMigrateRequest
+	tagPRead
+	tagPReadResp
+	tagPWrite
+	tagPWriteResp
+	tagPCommit
+	tagPCommitResp
+	tagPAbort
+	tagPStat
+	tagPStatResp
+	tagPMkdir
+	tagPRemove
+	tagAdminDrain
+	tagAdminStatus
+	tagAdminStatusResp
+	tagAdminRetire
+	tagProxyStatus
+	tagProxyStatusResp
 	tagMax
 )
 
@@ -372,6 +389,23 @@ func init() {
 	reg[SyncNotify](tagSyncNotify, "SyncNotify")
 	reg[ReplicateNotify](tagReplicateNotify, "ReplicateNotify")
 	reg[MigrateRequest](tagMigrateRequest, "MigrateRequest")
+	reg[PRead](tagPRead, "PRead")
+	reg[PReadResp](tagPReadResp, "PReadResp")
+	reg[PWrite](tagPWrite, "PWrite")
+	reg[PWriteResp](tagPWriteResp, "PWriteResp")
+	reg[PCommit](tagPCommit, "PCommit")
+	reg[PCommitResp](tagPCommitResp, "PCommitResp")
+	reg[PAbort](tagPAbort, "PAbort")
+	reg[PStat](tagPStat, "PStat")
+	reg[PStatResp](tagPStatResp, "PStatResp")
+	reg[PMkdir](tagPMkdir, "PMkdir")
+	reg[PRemove](tagPRemove, "PRemove")
+	reg[AdminDrain](tagAdminDrain, "AdminDrain")
+	reg[AdminStatus](tagAdminStatus, "AdminStatus")
+	reg[AdminStatusResp](tagAdminStatusResp, "AdminStatusResp")
+	reg[AdminRetire](tagAdminRetire, "AdminRetire")
+	reg[ProxyStatus](tagProxyStatus, "ProxyStatus")
+	reg[ProxyStatusResp](tagProxyStatusResp, "ProxyStatusResp")
 }
 
 // ---------------------------------------------------------------------------
@@ -610,7 +644,7 @@ func (r *wireReader) attrs() FileAttrs {
 }
 
 func loadInfoSize(l *LoadInfo) int {
-	return strSize(l.Rack) + numSize*4
+	return strSize(l.Rack) + numSize*4 + boolSize
 }
 
 func appendLoadInfo(b []byte, l *LoadInfo) []byte {
@@ -618,7 +652,8 @@ func appendLoadInfo(b []byte, l *LoadInfo) []byte {
 	b = appendF64(b, l.Load)
 	b = appendF64(b, l.IOWaitEWMA)
 	b = appendI64(b, l.FreeBytes)
-	return appendI64(b, l.TotalBytes)
+	b = appendI64(b, l.TotalBytes)
+	return appendBool(b, l.Draining)
 }
 
 func (r *wireReader) loadInfo(old *LoadInfo) LoadInfo {
@@ -628,6 +663,7 @@ func (r *wireReader) loadInfo(old *LoadInfo) LoadInfo {
 	l.IOWaitEWMA = r.f64()
 	l.FreeBytes = r.i64()
 	l.TotalBytes = r.i64()
+	l.Draining = r.bool_()
 	return l
 }
 
@@ -1608,4 +1644,265 @@ func (m MigrateRequest) appendWire(b []byte) []byte {
 func (m *MigrateRequest) decodeWire(r *wireReader) {
 	m.Seg = r.id()
 	m.Dest = NodeID(r.str(string(m.Dest)))
+}
+
+func (PRead) wireTag() uint16 { return tagPRead }
+func (m PRead) encodedSize() int {
+	return strSize(m.Path) + numSize*3
+}
+func (m PRead) appendWire(b []byte) []byte {
+	b = appendStr(b, m.Path)
+	b = appendI64(b, m.Offset)
+	b = appendI64(b, m.Length)
+	return appendU64(b, m.Version)
+}
+func (m *PRead) decodeWire(r *wireReader) {
+	m.Path = r.str(m.Path)
+	m.Offset = r.i64()
+	m.Length = r.i64()
+	m.Version = r.u64()
+}
+
+func (PReadResp) wireTag() uint16 { return tagPReadResp }
+func (m PReadResp) encodedSize() int {
+	return boolSize + strSize(m.Err) + numSize + bytesSize(m.Data) + boolSize
+}
+func (m PReadResp) appendWire(b []byte) []byte {
+	b = appendBool(b, m.OK)
+	b = appendStr(b, m.Err)
+	b = appendU64(b, m.Version)
+	b = appendBytes(b, m.Data)
+	return appendBool(b, m.EOF)
+}
+func (m *PReadResp) decodeWire(r *wireReader) {
+	m.OK = r.bool_()
+	m.Err = r.str(m.Err)
+	m.Version = r.u64()
+	m.Data = r.bytes(m.Data)
+	m.EOF = r.bool_()
+}
+
+func (PWrite) wireTag() uint16 { return tagPWrite }
+func (m PWrite) encodedSize() int {
+	return strSize(m.Sess) + strSize(m.Path) + numSize + bytesSize(m.Data) +
+		boolSize + numSize
+}
+func (m PWrite) appendWire(b []byte) []byte {
+	b = appendStr(b, m.Sess)
+	b = appendStr(b, m.Path)
+	b = appendI64(b, m.Offset)
+	b = appendBytes(b, m.Data)
+	b = appendBool(b, m.Create)
+	return appendInt(b, m.ReplDeg)
+}
+func (m *PWrite) decodeWire(r *wireReader) {
+	m.Sess = r.str(m.Sess)
+	m.Path = r.str(m.Path)
+	m.Offset = r.i64()
+	m.Data = r.bytes(m.Data)
+	m.Create = r.bool_()
+	m.ReplDeg = r.int_()
+}
+
+func (PWriteResp) wireTag() uint16 { return tagPWriteResp }
+func (m PWriteResp) encodedSize() int {
+	return boolSize + strSize(m.Err) + numSize
+}
+func (m PWriteResp) appendWire(b []byte) []byte {
+	b = appendBool(b, m.OK)
+	b = appendStr(b, m.Err)
+	return appendInt(b, m.N)
+}
+func (m *PWriteResp) decodeWire(r *wireReader) {
+	m.OK = r.bool_()
+	m.Err = r.str(m.Err)
+	m.N = r.int_()
+}
+
+func (PCommit) wireTag() uint16 { return tagPCommit }
+func (m PCommit) encodedSize() int {
+	return strSize(m.Sess) + strSize(m.Path)
+}
+func (m PCommit) appendWire(b []byte) []byte {
+	b = appendStr(b, m.Sess)
+	return appendStr(b, m.Path)
+}
+func (m *PCommit) decodeWire(r *wireReader) {
+	m.Sess = r.str(m.Sess)
+	m.Path = r.str(m.Path)
+}
+
+func (PCommitResp) wireTag() uint16 { return tagPCommitResp }
+func (m PCommitResp) encodedSize() int {
+	return boolSize + strSize(m.Err) + numSize*2
+}
+func (m PCommitResp) appendWire(b []byte) []byte {
+	b = appendBool(b, m.OK)
+	b = appendStr(b, m.Err)
+	b = appendU64(b, m.Version)
+	return appendI64(b, m.Size)
+}
+func (m *PCommitResp) decodeWire(r *wireReader) {
+	m.OK = r.bool_()
+	m.Err = r.str(m.Err)
+	m.Version = r.u64()
+	m.Size = r.i64()
+}
+
+func (PAbort) wireTag() uint16 { return tagPAbort }
+func (m PAbort) encodedSize() int {
+	return strSize(m.Sess) + strSize(m.Path)
+}
+func (m PAbort) appendWire(b []byte) []byte {
+	b = appendStr(b, m.Sess)
+	return appendStr(b, m.Path)
+}
+func (m *PAbort) decodeWire(r *wireReader) {
+	m.Sess = r.str(m.Sess)
+	m.Path = r.str(m.Path)
+}
+
+func (PStat) wireTag() uint16 { return tagPStat }
+func (m PStat) encodedSize() int {
+	return strSize(m.Path)
+}
+func (m PStat) appendWire(b []byte) []byte {
+	return appendStr(b, m.Path)
+}
+func (m *PStat) decodeWire(r *wireReader) {
+	m.Path = r.str(m.Path)
+}
+
+func (PStatResp) wireTag() uint16 { return tagPStatResp }
+func (m PStatResp) encodedSize() int {
+	return boolSize + strSize(m.Err) + fileEntrySize(&m.Entry)
+}
+func (m PStatResp) appendWire(b []byte) []byte {
+	b = appendBool(b, m.OK)
+	b = appendStr(b, m.Err)
+	return appendFileEntry(b, &m.Entry)
+}
+func (m *PStatResp) decodeWire(r *wireReader) {
+	m.OK = r.bool_()
+	m.Err = r.str(m.Err)
+	m.Entry = r.fileEntry(&m.Entry)
+}
+
+func (PMkdir) wireTag() uint16 { return tagPMkdir }
+func (m PMkdir) encodedSize() int {
+	return strSize(m.Path)
+}
+func (m PMkdir) appendWire(b []byte) []byte {
+	return appendStr(b, m.Path)
+}
+func (m *PMkdir) decodeWire(r *wireReader) {
+	m.Path = r.str(m.Path)
+}
+
+func (PRemove) wireTag() uint16 { return tagPRemove }
+func (m PRemove) encodedSize() int {
+	return strSize(m.Path)
+}
+func (m PRemove) appendWire(b []byte) []byte {
+	return appendStr(b, m.Path)
+}
+func (m *PRemove) decodeWire(r *wireReader) {
+	m.Path = r.str(m.Path)
+}
+
+func (AdminDrain) wireTag() uint16 { return tagAdminDrain }
+func (m AdminDrain) encodedSize() int {
+	return strSize(string(m.Node)) + boolSize
+}
+func (m AdminDrain) appendWire(b []byte) []byte {
+	b = appendStr(b, string(m.Node))
+	return appendBool(b, m.Abort)
+}
+func (m *AdminDrain) decodeWire(r *wireReader) {
+	m.Node = NodeID(r.str(string(m.Node)))
+	m.Abort = r.bool_()
+}
+
+func (AdminStatus) wireTag() uint16 { return tagAdminStatus }
+func (m AdminStatus) encodedSize() int {
+	return strSize(string(m.Node))
+}
+func (m AdminStatus) appendWire(b []byte) []byte {
+	return appendStr(b, string(m.Node))
+}
+func (m *AdminStatus) decodeWire(r *wireReader) {
+	m.Node = NodeID(r.str(string(m.Node)))
+}
+
+func (AdminStatusResp) wireTag() uint16 { return tagAdminStatusResp }
+func (m AdminStatusResp) encodedSize() int {
+	return boolSize + strSize(m.Err) + strSize(string(m.Node)) + boolSize +
+		numSize*4
+}
+func (m AdminStatusResp) appendWire(b []byte) []byte {
+	b = appendBool(b, m.OK)
+	b = appendStr(b, m.Err)
+	b = appendStr(b, string(m.Node))
+	b = appendBool(b, m.Draining)
+	b = appendInt(b, m.Segments)
+	b = appendInt(b, m.Shadows)
+	b = appendI64(b, m.FreeBytes)
+	return appendI64(b, m.TotalBytes)
+}
+func (m *AdminStatusResp) decodeWire(r *wireReader) {
+	m.OK = r.bool_()
+	m.Err = r.str(m.Err)
+	m.Node = NodeID(r.str(string(m.Node)))
+	m.Draining = r.bool_()
+	m.Segments = r.int_()
+	m.Shadows = r.int_()
+	m.FreeBytes = r.i64()
+	m.TotalBytes = r.i64()
+}
+
+func (AdminRetire) wireTag() uint16 { return tagAdminRetire }
+func (m AdminRetire) encodedSize() int {
+	return strSize(string(m.Node))
+}
+func (m AdminRetire) appendWire(b []byte) []byte {
+	return appendStr(b, string(m.Node))
+}
+func (m *AdminRetire) decodeWire(r *wireReader) {
+	m.Node = NodeID(r.str(string(m.Node)))
+}
+
+func (ProxyStatus) wireTag() uint16 { return tagProxyStatus }
+func (m ProxyStatus) encodedSize() int {
+	return strSize(string(m.Node))
+}
+func (m ProxyStatus) appendWire(b []byte) []byte {
+	return appendStr(b, string(m.Node))
+}
+func (m *ProxyStatus) decodeWire(r *wireReader) {
+	m.Node = NodeID(r.str(string(m.Node)))
+}
+
+func (ProxyStatusResp) wireTag() uint16 { return tagProxyStatusResp }
+func (m ProxyStatusResp) encodedSize() int {
+	return boolSize + strSize(m.Err) + strSize(string(m.Node)) + numSize*5
+}
+func (m ProxyStatusResp) appendWire(b []byte) []byte {
+	b = appendBool(b, m.OK)
+	b = appendStr(b, m.Err)
+	b = appendStr(b, string(m.Node))
+	b = appendInt(b, m.Sessions)
+	b = appendInt(b, m.Reads)
+	b = appendU64(b, m.Requests)
+	b = appendU64(b, m.Errors)
+	return appendInt(b, m.Providers)
+}
+func (m *ProxyStatusResp) decodeWire(r *wireReader) {
+	m.OK = r.bool_()
+	m.Err = r.str(m.Err)
+	m.Node = NodeID(r.str(string(m.Node)))
+	m.Sessions = r.int_()
+	m.Reads = r.int_()
+	m.Requests = r.u64()
+	m.Errors = r.u64()
+	m.Providers = r.int_()
 }

@@ -148,6 +148,10 @@ type LoadInfo struct {
 	// FreeBytes and TotalBytes describe storage availability.
 	FreeBytes  int64
 	TotalBytes int64
+	// Draining marks a provider that is migrating its segments away ahead
+	// of retirement: it still serves reads and open shadows, and it keeps
+	// its home-host role, but placement must not choose it for new data.
+	Draining bool
 }
 
 // UsedFrac returns the fraction of storage consumed.
@@ -600,6 +604,135 @@ type MigrateRequest struct {
 	Dest NodeID
 }
 
+// ---------------------------------------------------------------------------
+// Thin client protocol (proxy gateway tier)
+//
+// Thin clients address files by path and byte offset only: no membership
+// tracking, no location cache, no 2PC. A stateless proxy terminates these
+// requests and speaks the full Sorrento protocol to providers on the
+// client's behalf. Sess names a write session; the proxy keeps only soft
+// per-session state (an open shadow handle) that a client can always
+// recreate by reopening after a proxy restart.
+
+// PRead reads Length bytes at Offset from the file at Path.
+type PRead struct {
+	Path    string
+	Offset  int64
+	Length  int64
+	Version uint64 // 0 means latest committed
+}
+
+// PReadResp returns the data (short when EOF).
+type PReadResp struct {
+	OK      bool
+	Err     string
+	Version uint64
+	Data    []byte
+	EOF     bool
+}
+
+// PWrite writes Data at Offset into the write session Sess for Path. The
+// first PWrite of a session opens it on the proxy: with Create set the file
+// is created when absent (ReplDeg > 0 overrides the default replication
+// degree for new files).
+type PWrite struct {
+	Sess    string
+	Path    string
+	Offset  int64
+	Data    []byte
+	Create  bool
+	ReplDeg int
+}
+
+// PWriteResp acknowledges the write.
+type PWriteResp struct {
+	OK  bool
+	Err string
+	N   int
+}
+
+// PCommit atomically publishes session Sess's writes to Path as a new file
+// version. Data is durable on providers only after PCommitResp.OK.
+type PCommit struct {
+	Sess string
+	Path string
+}
+
+// PCommitResp carries the committed version.
+type PCommitResp struct {
+	OK      bool
+	Err     string
+	Version uint64
+	Size    int64
+}
+
+// PAbort discards session Sess's uncommitted writes to Path.
+type PAbort struct {
+	Sess string
+	Path string
+}
+
+// PStat resolves Path to its file entry.
+type PStat struct{ Path string }
+
+// PStatResp returns the entry; OK=false with Err when the path is absent.
+type PStatResp struct {
+	OK    bool
+	Err   string
+	Entry FileEntry
+}
+
+// PMkdir creates a directory.
+type PMkdir struct{ Path string }
+
+// PRemove unlinks a file.
+type PRemove struct{ Path string }
+
+// ---------------------------------------------------------------------------
+// Admin plane (sorrento-admin → proxies and providers)
+
+// AdminDrain marks the receiving provider draining (or aborts a drain when
+// Abort is set): placement stops choosing it and a background worker
+// migrates its segments to the remaining providers.
+type AdminDrain struct {
+	Node  NodeID // sanity check: must match the receiver
+	Abort bool
+}
+
+// AdminStatus asks a provider for its drain/storage state.
+type AdminStatus struct{ Node NodeID }
+
+// AdminStatusResp describes the provider's local state.
+type AdminStatusResp struct {
+	OK         bool
+	Err        string
+	Node       NodeID
+	Draining   bool
+	Segments   int // committed segments still held locally
+	Shadows    int // open (uncommitted) shadow sessions
+	FreeBytes  int64
+	TotalBytes int64
+}
+
+// AdminRetire asks a drained provider to leave the cluster: it must be
+// draining and hold no segments or shadows, otherwise the request fails.
+type AdminRetire struct{ Node NodeID }
+
+// ProxyStatus asks a proxy for its serving statistics.
+type ProxyStatus struct{ Node NodeID }
+
+// ProxyStatusResp describes a proxy's soft state and traffic counters.
+type ProxyStatusResp struct {
+	OK        bool
+	Err       string
+	Node      NodeID
+	Sessions  int    // open write sessions (soft state)
+	Reads     int    // cached read handles (soft state)
+	Requests  uint64 // thin-protocol requests served
+	Errors    uint64 // thin-protocol requests failed
+	Providers int    // live providers in the proxy's membership view
+}
+
 func init() {
 	for _, m := range []any{
 		Heartbeat{}, Hello{},
@@ -617,6 +750,11 @@ func init() {
 		LocRefresh{}, LocUpdate{}, LocQuery{}, LocQueryResp{},
 		LocProbe{}, LocProbeResp{},
 		SyncNotify{}, ReplicateNotify{}, MigrateRequest{},
+		PRead{}, PReadResp{}, PWrite{}, PWriteResp{},
+		PCommit{}, PCommitResp{}, PAbort{}, PStat{}, PStatResp{},
+		PMkdir{}, PRemove{},
+		AdminDrain{}, AdminStatus{}, AdminStatusResp{}, AdminRetire{},
+		ProxyStatus{}, ProxyStatusResp{},
 	} {
 		gob.Register(m)
 	}
