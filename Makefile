@@ -5,7 +5,7 @@
 
 RACE_PKGS := ./internal/core ./internal/segstore ./internal/provider ./internal/cluster ./internal/wire ./internal/simtime ./internal/simnet ./internal/proxy
 
-.PHONY: check build test vet race bench
+.PHONY: check build test vet race bench scrub-chaos bench-scrub
 
 check: build vet test race
 
@@ -39,3 +39,14 @@ scale:
 # load vs p50/p99 latency and proxy CPU → BENCH_proxy.json.
 bench-proxy:
 	go run ./cmd/sorrento-bench -exp proxy -metrics-out ''
+
+# Storage-corruption chaos: bit rot, torn and lost writes layered over the
+# network/process storm, asserting no acked commit is ever served with wrong
+# bytes and every injected corruption is scrubbed and repaired.
+scrub-chaos:
+	go test ./internal/cluster -run TestChaosCorruptionSeeded -race -count=1 -v
+
+# Integrity scrub sweep: detection latency and repair time vs scrub pace
+# with a batch of corrupted replicas → BENCH_integrity.json.
+bench-scrub:
+	go run ./cmd/sorrento-bench -exp scrub -metrics-out ''

@@ -36,14 +36,14 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|harness|proxy|all (harness and proxy are substrate benchmarks, not part of 'all')")
+	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|harness|proxy|scrub|all (harness, proxy and scrub are substrate/robustness benchmarks, not part of 'all')")
 	quick := flag.Bool("quick", false, "reduced parameters (faster, noisier)")
 	obsOn := flag.Bool("obs", true, "instrument each run and write a metrics snapshot")
 	metricsOut := flag.String("metrics-out", ".", "directory for per-run <exp>-metrics.{json,prom} snapshots (empty disables)")
 	maxPar := flag.Int("maxparallel", 0, "override clients' MaxParallelIO fan-out width (0 = default)")
 	faults := flag.Bool("faults", false, "fig13: partition the victim instead of killing it (exercises retry/failover + resync)")
 	providers := flag.String("providers", "", "harness: comma-separated cluster sizes (default 128,256,512)")
-	benchOut := flag.String("bench-out", "", "harness/proxy: output path for the sweep JSON (default BENCH_<exp>.json; '-' disables)")
+	benchOut := flag.String("bench-out", "", "harness/proxy/scrub: output path for the sweep JSON (default BENCH_<exp>.json, BENCH_integrity.json for scrub; '-' disables)")
 	conns := flag.Int("conns", 0, "proxy: simulated client connection population (default 100000)")
 	proxies := flag.Int("proxies", 0, "proxy: gateway count the load funnels through (default 4)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -102,6 +102,7 @@ func run() int {
 		"ablations": runAblations,
 		"harness":   runHarness,
 		"proxy":     runProxy,
+		"scrub":     runScrub,
 	}
 	order := []string{"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablations"}
 
@@ -359,6 +360,37 @@ func runProxy(quick bool) error {
 	}
 	res.Report(os.Stdout)
 	if out := benchOutFor("proxy"); out != "" {
+		if err := res.WriteJSON(out); err != nil {
+			return fmt.Errorf("write %s: %w", out, err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}
+
+func runScrub(quick bool) error {
+	var p bench.ScrubParams
+	if quick {
+		p.Providers = 8
+		p.Corruptions = 8
+		p.Files = 8
+		p.FileSize = 1 << 20
+		p.Paces = []time.Duration{2 * time.Second, 10 * time.Second}
+		p.Scale.Time = 0.002
+	}
+	res, err := bench.RunScrub(p)
+	if err != nil {
+		return err
+	}
+	res.Report(os.Stdout)
+	out := benchOutPath
+	switch out {
+	case "":
+		out = "BENCH_integrity.json" // the integrity artifact, not BENCH_scrub.json
+	case "-":
+		out = ""
+	}
+	if out != "" {
 		if err := res.WriteJSON(out); err != nil {
 			return fmt.Errorf("write %s: %w", out, err)
 		}

@@ -133,7 +133,7 @@ func RunDeltaSyncAblation() (*AblationResult, error) {
 				return nil, err
 			}
 		}
-		ranges, _, _, _, _, full, err := st.FetchDelta(seg, 1)
+		ranges, _, _, _, _, full, _, err := st.FetchDelta(seg, 1)
 		if err != nil {
 			return nil, err
 		}

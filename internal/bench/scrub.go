@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/provider"
+	"repro/internal/wire"
+)
+
+// ScrubParams configure the integrity benchmark: corrupt a batch of
+// committed replicas across the cluster and measure how the background
+// scrubber behaves — how long until every rotted version is detected and
+// dropped (detection latency vs scrub pace), how long until replication is
+// fully restored from clean replicas (repair bandwidth), and how many bytes
+// of reads were served during the storm (all of which must verify: the
+// bytes-never-served-bad contract).
+type ScrubParams struct {
+	Scale Scale
+	// Providers is the cluster size (default 64).
+	Providers int
+	// Corruptions is how many replicas are rotted, spread across distinct
+	// providers (default 16).
+	Corruptions int
+	// Files written before the storm; each is FileSize bytes, ReplDeg 2.
+	Files    int
+	FileSize int64
+	// Paces are the scrub intervals to sweep (default 2s, 10s, 30s): the
+	// knob trading scrub I/O against detection latency.
+	Paces []time.Duration
+	// ScrubBatch is segments verified per pass.
+	ScrubBatch int
+}
+
+func (p ScrubParams) withDefaults() ScrubParams {
+	if p.Providers <= 0 {
+		p.Providers = 64
+	}
+	if p.Corruptions <= 0 {
+		p.Corruptions = 16
+	}
+	if p.Files <= 0 {
+		p.Files = 32
+	}
+	if p.FileSize <= 0 {
+		p.FileSize = 4 << 20
+	}
+	if len(p.Paces) == 0 {
+		p.Paces = []time.Duration{2 * time.Second, 10 * time.Second, 30 * time.Second}
+	}
+	if p.ScrubBatch <= 0 {
+		p.ScrubBatch = 32
+	}
+	if p.Scale.Time <= 0 {
+		// Relax time compression with cluster size, like the harness sweep
+		// (128 providers at 0.20): past ~32 providers the default 200×
+		// compression starves heartbeat tickers on a small host and the
+		// cluster never stabilizes.
+		p.Scale.Time = float64(p.Providers) / 640
+		if p.Scale.Time < DefaultScale().Time {
+			p.Scale.Time = DefaultScale().Time
+		}
+	}
+	return p
+}
+
+// ScrubPoint is one scrub pace's measurements (modeled time).
+type ScrubPoint struct {
+	PaceSec     float64 `json:"pace_sec"`
+	Providers   int     `json:"providers"`
+	Corruptions int     `json:"corruptions"`
+	// DetectSec is modeled time from injection until no store holds a
+	// corrupt version (every rotted replica detected and dropped).
+	DetectSec float64 `json:"detect_sec"`
+	// RepairSec is modeled time from injection until replication is fully
+	// restored from clean replicas.
+	RepairSec float64 `json:"repair_sec"`
+	// Detected / Repaired are the cluster-wide integrity counters after the
+	// run (also exported as sorrento_integrity_* on /metrics).
+	Detected int64 `json:"detected"`
+	Repaired int64 `json:"repaired"`
+	// VerifiedBlocks is how many checksum blocks consumers and the scrubber
+	// verified over the whole run.
+	VerifiedBlocks int64 `json:"verified_blocks"`
+	// ReadBytesOK counts payload bytes served to the reader during the
+	// storm — every one checksum-verified. WrongReads MUST be zero: a
+	// corrupt replica may cost a failover, never wrong bytes.
+	ReadBytesOK int64  `json:"read_bytes_ok"`
+	WrongReads  int    `json:"wrong_reads"`
+	Error       string `json:"error,omitempty"`
+}
+
+// ScrubResult is the integrity sweep, written to BENCH_integrity.json.
+type ScrubResult struct {
+	ScaleData int64        `json:"scale_data"`
+	Points    []ScrubPoint `json:"points"`
+}
+
+// Report prints the sweep as a table.
+func (r *ScrubResult) Report(w io.Writer) {
+	fmt.Fprintf(w, "Integrity scrub: detection latency and repair time vs scrub pace (modeled seconds)\n")
+	fmt.Fprintf(w, "%8s %10s %8s %10s %10s %9s %9s %12s %6s\n",
+		"pace_s", "providers", "corrupt", "detect_s", "repair_s", "detected", "repaired", "readMB_ok", "wrong")
+	for _, pt := range r.Points {
+		if pt.Error != "" {
+			fmt.Fprintf(w, "%8.0f %10d %8d  ERROR: %s\n", pt.PaceSec, pt.Providers, pt.Corruptions, pt.Error)
+			continue
+		}
+		fmt.Fprintf(w, "%8.0f %10d %8d %10.2f %10.2f %9d %9d %12.1f %6d\n",
+			pt.PaceSec, pt.Providers, pt.Corruptions, pt.DetectSec, pt.RepairSec,
+			pt.Detected, pt.Repaired, float64(pt.ReadBytesOK)/(1<<20), pt.WrongReads)
+	}
+}
+
+// WriteJSON writes the sweep to path.
+func (r *ScrubResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RunScrub executes the integrity sweep: one fresh deployment per scrub
+// pace, a batch of oracle-guided corruptions, and a stopwatch on the
+// detect-and-repair pipeline.
+func RunScrub(p ScrubParams) (*ScrubResult, error) {
+	p = p.withDefaults()
+	res := &ScrubResult{ScaleData: p.Scale.withDefaults().Data}
+	for _, pace := range p.Paces {
+		pt, err := runScrubPoint(p, pace)
+		if err != nil {
+			pt = ScrubPoint{PaceSec: pace.Seconds(), Providers: p.Providers, Corruptions: p.Corruptions, Error: err.Error()}
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+func runScrubPoint(p ScrubParams, pace time.Duration) (ScrubPoint, error) {
+	pt := ScrubPoint{PaceSec: pace.Seconds(), Providers: p.Providers, Corruptions: p.Corruptions}
+
+	pcfg := provider.DefaultConfig()
+	pcfg.RepairInterval = 2 * time.Second
+	pcfg.RepairBatch = 16
+	pcfg.ScrubInterval = pace
+	pcfg.ScrubBatch = p.ScrubBatch
+	pcfg.QuarantineThreshold = -1 // measuring detect/repair, not the admin response
+	env, err := NewSorrento(p.Scale, SorrentoOptions{
+		Providers: p.Providers,
+		ReplDeg:   2,
+		Provider:  pcfg,
+	})
+	if err != nil {
+		return pt, err
+	}
+	defer env.Close()
+	c := env.Cluster
+
+	fs, err := env.NewFS(wire.FileAttrs{})
+	if err != nil {
+		return pt, err
+	}
+	size := p.Scale.withDefaults().Bytes(p.FileSize)
+	buf := make([]byte, size)
+	for i := range buf {
+		buf[i] = byte(i * 31)
+	}
+	paths := make([]string, p.Files)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/scrub%03d", i)
+		f, err := fs.Create(paths[i])
+		if err != nil {
+			return pt, err
+		}
+		if _, err := f.WriteAt(buf, 0); err != nil {
+			return pt, err
+		}
+		if err := f.Close(); err != nil {
+			return pt, err
+		}
+	}
+	if err := c.AwaitQuiesce(10 * time.Minute); err != nil {
+		return pt, fmt.Errorf("initial replication: %w", err)
+	}
+
+	// Rot Corruptions replicas spread across distinct providers, in sorted
+	// node order for determinism; the oracle only damages segments with a
+	// clean replica elsewhere, so full recovery is always possible.
+	var ids []wire.NodeID
+	for id := range c.Providers() {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	injected := 0
+	for i := 0; injected < p.Corruptions && i < 4*len(ids); i++ {
+		if _, ok := c.CorruptProvider(ids[i%len(ids)]); ok {
+			injected++
+		}
+	}
+	if injected == 0 {
+		return pt, fmt.Errorf("no corruptible replica found")
+	}
+	pt.Corruptions = injected
+	t0 := c.Clock.Now()
+
+	// Read every file back WHILE the rot sits undetected: each read is
+	// checksum-verified up the stack, so a corrupt replica costs a failover,
+	// never wrong bytes — the bytes-never-served-bad contract the columns
+	// record.
+	readPass := func() {
+		rbuf := make([]byte, size)
+		for _, path := range paths {
+			f, err := fs.Open(path)
+			if err != nil {
+				continue
+			}
+			n, err := f.ReadAt(rbuf, 0)
+			if err != nil && err != io.EOF {
+				continue
+			}
+			ok := true
+			for j := 0; j < n; j++ {
+				if rbuf[j] != byte(j*31) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				pt.ReadBytesOK += int64(n)
+			} else {
+				pt.WrongReads++
+			}
+		}
+	}
+	// The milestone stopwatches run concurrently with the read pass: the
+	// modeled clock advances with wall time, so timing them only after the
+	// wall-expensive read sweep returns would charge the sweep to the
+	// scrubber and flatten the pace signal.
+	detectCh := make(chan time.Duration, 1)
+	repairCh := make(chan time.Duration, 1)
+	go func() {
+		for c.IntegrityViolations() > 0 {
+			c.Clock.Sleep(200 * time.Millisecond)
+		}
+		detectCh <- c.Clock.Now() - t0
+		// Two consecutive clean polls: right after a drop there is a window
+		// before the home host notices the deficit, during which a single
+		// PendingRepairs()==0 reading would be premature.
+		for streak := 0; streak < 2; {
+			if c.PendingRepairs() == 0 {
+				streak++
+			} else {
+				streak = 0
+			}
+			c.Clock.Sleep(200 * time.Millisecond)
+		}
+		repairCh <- c.Clock.Now() - t0
+	}()
+
+	readPass()
+
+	if err := c.AwaitScrubbed(2 * time.Hour); err != nil {
+		return pt, err
+	}
+	pt.DetectSec = (<-detectCh).Seconds()
+	if err := c.AwaitQuiesce(2 * time.Hour); err != nil {
+		return pt, fmt.Errorf("repair: %w", err)
+	}
+	pt.RepairSec = (<-repairCh).Seconds()
+	readPass()
+
+	for _, pr := range c.Providers() {
+		is := pr.Store().IntegrityStats()
+		pt.Detected += is.Detected
+		pt.VerifiedBlocks += is.VerifiedBlocks
+		pt.Repaired += is.ScrubDropped
+	}
+	return pt, nil
+}

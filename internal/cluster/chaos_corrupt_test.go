@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/layout"
+	"repro/internal/provider"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// The corruption chaos suite layers storage faults — silent bit rot, torn
+// writes, lost writes — over the classic network/process mix and asserts the
+// end-to-end integrity contract: no acknowledged commit is EVER served with
+// wrong bytes (a checksum-failing replica must fail over, not decode), every
+// injected corruption is detected and dropped by the end of the run, and the
+// cluster converges back to full, clean replication.
+
+func TestChaosCorruptionSeeded(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+		}
+		seeds = []int64{v}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Logf("corruption chaos seed %d (rerun with CHAOS_SEED=%d)", seed, seed)
+			runCorruptionChaos(t, seed)
+		})
+	}
+}
+
+func runCorruptionChaos(t *testing.T, seed int64) {
+	c, err := New(Options{
+		Providers: chaosProviders,
+		Scale:     0.001,
+		Sizing:    layout.Sizing{Unit: 4096, Max: 512, Base: 8, Period: 8},
+		Net:       simnet.Config{CallTimeout: 2 * time.Second, FaultSeed: seed},
+		Provider:  corruptionChaosProviderCfg(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	if err := c.AwaitStable(chaosProviders, 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	tuned := func(cfg *core.Config) {
+		cfg.CallTimeout = 5 * time.Second
+		cfg.Retry = core.RetryPolicy{MaxAttempts: 4, Backoff: 100 * time.Millisecond, MaxBackoff: time.Second}
+	}
+	writers := make([]*core.Client, chaosWriters)
+	for i := range writers {
+		cl, err := c.NewClientCfg(fmt.Sprintf("w%d", i), tuned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.WaitForProviders(chaosProviders, 2*time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Mkdir(fmt.Sprintf("/w%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		writers[i] = cl
+	}
+	reader, err := c.NewClientCfg("r0", tuned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reader.WaitForProviders(chaosProviders, 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		ackMu sync.Mutex
+		acked []chaosAck
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < chaosWriters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := writers[i]
+			for r := 0; r < chaosRounds; r++ {
+				start := c.Clock.Now()
+				path := fmt.Sprintf("/w%d/f%02d", i, r)
+				payload := chaosPayload(seed+1000, i, r)
+				attrs := wire.DefaultAttrs()
+				attrs.ReplDeg = 2
+				f, err := cl.Create(path, attrs)
+				if err != nil {
+					continue // faults may win; only acked data is promised
+				}
+				if _, err := f.WriteAt(payload, 0); err != nil {
+					f.Drop()
+					continue
+				}
+				if err := f.Close(); err != nil {
+					f.Drop()
+					continue
+				}
+				// A looser wedge bound than the network chaos suite: this
+				// test layers storage faults on top of the usual storm and
+				// its contract is integrity, not tail latency. Under -race
+				// at this clock scale a brief wall stall alone costs modeled
+				// minutes, so the tight bound would flake on scheduler noise.
+				if took := c.Clock.Now() - start; took > 4*chaosOpDeadline {
+					t.Errorf("writer %d round %d wedged for %v (deadline %v)", i, r, took, 4*chaosOpDeadline)
+				}
+				ackMu.Lock()
+				acked = append(acked, chaosAck{path: path, sum: sha256.Sum256(payload)})
+				ackMu.Unlock()
+			}
+		}()
+	}
+
+	// The concurrent reader is the wrong-bytes detector: a read that SUCCEEDS
+	// must return exactly the acked payload. Corrupt replicas may only ever
+	// surface as failover (handled below the read API) — never as content.
+	stopRead := make(chan struct{})
+	var readWG sync.WaitGroup
+	readWG.Add(1)
+	go func() {
+		defer readWG.Done()
+		rng := rand.New(rand.NewSource(seed + 7))
+		buf := make([]byte, chaosPayloadSize)
+		for {
+			select {
+			case <-stopRead:
+				return
+			default:
+			}
+			ackMu.Lock()
+			var pick chaosAck
+			if len(acked) > 0 {
+				pick = acked[rng.Intn(len(acked))]
+			}
+			ackMu.Unlock()
+			if pick.path == "" {
+				c.Clock.Sleep(500 * time.Millisecond)
+				continue
+			}
+			g, err := reader.Open(pick.path)
+			if err != nil {
+				continue // transient failures are allowed mid-fault
+			}
+			if _, err := g.ReadAt(buf, 0); err != nil && err != io.EOF {
+				continue
+			}
+			if sha256.Sum256(buf) != pick.sum {
+				t.Errorf("mid-chaos read of %s returned wrong content", pick.path)
+			}
+		}
+	}()
+
+	victims := make([]wire.NodeID, chaosProviders)
+	for i := range victims {
+		victims[i] = ProviderID(i)
+	}
+	kinds := append(append([]FaultKind{}, StorageFaultKinds...), FaultCrash, FaultLossy)
+	sched := RandomFaultScheduleKinds(seed, victims, chaosHorizon, chaosEvents, kinds)
+	for _, e := range sched.Events {
+		t.Logf("fault: %v", e)
+	}
+	if err := c.RunFaultSchedule(t.Context(), sched); err != nil {
+		t.Fatalf("fault schedule: %v", err)
+	}
+
+	wg.Wait()
+	close(stopRead)
+	readWG.Wait()
+
+	c.Fabric.HealAllFaults()
+	c.ClearAllStorageFaults()
+	if err := c.AwaitStable(chaosProviders, 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AwaitQuiesce(10 * time.Minute); err != nil {
+		for id, p := range c.Providers() {
+			for _, act := range p.RepairNeeds() {
+				t.Logf("%s stuck: seg=%v latest=%d owners=%v stale=%v deficit=%d source=%v",
+					id, act.Seg, act.Latest, act.CurrentOwners, act.Stale, act.Deficit, act.Source)
+			}
+		}
+		t.Fatalf("replication not restored after heal: %v", err)
+	}
+
+	// One deterministic injection after the storm: whatever the random
+	// schedule did, the detect-then-repair path is exercised every run.
+	injected := false
+	var rotSeg ids.SegID
+	var rotNode wire.NodeID
+	for _, id := range victims {
+		if seg, ok := c.CorruptProvider(id); ok {
+			t.Logf("deterministic rot: %s on %s", seg.Short(), id)
+			injected = true
+			rotSeg, rotNode = seg, id
+			break
+		}
+	}
+	if !injected {
+		t.Fatal("no provider held a corruptible segment after quiesce")
+	}
+	if err := c.AwaitScrubbed(10 * time.Minute); err != nil {
+		if p := c.Provider(rotNode); p != nil {
+			st := p.Store()
+			t.Logf("DEBUG %s: stat=%+v verify0=%v stats=%+v segs=%d",
+				rotNode, st.Stat(rotSeg), st.VerifyVersion(rotSeg, 0), st.IntegrityStats(), st.Len())
+		}
+		t.Fatal(err)
+	}
+	if err := c.AwaitQuiesce(10 * time.Minute); err != nil {
+		t.Fatalf("replication not restored after scrub repair: %v", err)
+	}
+
+	// All injected corruption was detected; nothing rotten remains anywhere.
+	if n := c.IntegrityViolations(); n != 0 {
+		t.Fatalf("%d corrupt versions survived the run", n)
+	}
+	if c.IntegrityDetections() == 0 {
+		t.Fatal("run finished without a single corruption detection")
+	}
+
+	// The integrity contract: every acknowledged commit reads back intact.
+	ackMu.Lock()
+	final := append([]chaosAck(nil), acked...)
+	ackMu.Unlock()
+	if len(final) == 0 {
+		t.Fatal("no commit was ever acknowledged; chaos starved the workload")
+	}
+	buf := make([]byte, chaosPayloadSize)
+	for _, a := range final {
+		g, err := reader.Open(a.path)
+		if err != nil {
+			t.Errorf("acked file %s unreadable after heal: %v", a.path, err)
+			continue
+		}
+		if _, err := g.ReadAt(buf, 0); err != nil && err != io.EOF {
+			t.Errorf("acked file %s read failed after heal: %v", a.path, err)
+			continue
+		}
+		if sha256.Sum256(buf) != a.sum {
+			t.Errorf("acked file %s content lost", a.path)
+		}
+	}
+	t.Logf("corruption chaos seed %d: %d/%d rounds acked and verified, %d detections",
+		seed, len(final), chaosWriters*chaosRounds, c.IntegrityDetections())
+}
+
+// corruptionChaosProviderCfg cranks the scrubber to chaos pace: every
+// couple of modeled seconds it sweeps the whole store, so injected rot is
+// found well inside the run. Quarantine is disabled — this suite measures
+// detect-and-repair, not the admin response (TestScrubQuarantinesFailingMedia
+// covers that).
+func corruptionChaosProviderCfg() (cfg provider.Config) {
+	cfg = provider.DefaultConfig()
+	cfg.ScrubInterval = 2 * time.Second
+	cfg.ScrubBatch = 256
+	cfg.QuarantineThreshold = -1
+	return cfg
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/segstore"
 	"repro/internal/simnet"
 	"repro/internal/wire"
 )
@@ -26,7 +27,25 @@ const (
 	// FaultCrash kills a provider and later restarts it with its disk
 	// contents intact.
 	FaultCrash FaultKind = "crash"
+	// FaultBitFlip rots one committed replica in place (silent media
+	// corruption). A point event: there is no repair step — detection and
+	// repair are the scrubber's job.
+	FaultBitFlip FaultKind = "bitflip"
+	// FaultTornWrite arms the victim's store so commits during the window
+	// persist only a prefix of the new bytes (power-loss torn write).
+	FaultTornWrite FaultKind = "tornwrite"
+	// FaultLostWrite arms the victim's store so commits during the window
+	// are acknowledged but the old contents stay on disk.
+	FaultLostWrite FaultKind = "lostwrite"
 )
+
+// DefaultFaultKinds is the classic network/process chaos mix.
+var DefaultFaultKinds = []FaultKind{FaultPartition, FaultLossy, FaultPause, FaultCrash}
+
+// StorageFaultKinds are the storage-corruption injections (this file's
+// bitflip/torn/lost kinds) layered on top of the classic mix by the
+// corruption chaos suite.
+var StorageFaultKinds = []FaultKind{FaultBitFlip, FaultTornWrite, FaultLostWrite}
 
 // FaultEvent is one scheduled injection paired with its repair: the fault
 // activates at At (modeled time from schedule start) and is repaired at
@@ -50,6 +69,10 @@ func (e FaultEvent) String() string {
 		return fmt.Sprintf("%v+%v lossy %s<->%s drop=%.2f extra=%v", e.At, e.For, e.A, e.B, e.Drop, e.Extra)
 	case FaultPause:
 		return fmt.Sprintf("%v+%v pause %s", e.At, e.For, e.A)
+	case FaultBitFlip:
+		return fmt.Sprintf("%v bitflip %s", e.At, e.A)
+	case FaultTornWrite, FaultLostWrite:
+		return fmt.Sprintf("%v+%v %s %s p=%.2f", e.At, e.For, e.Kind, e.A, e.Drop)
 	default:
 		return fmt.Sprintf("%v+%v %s %s", e.At, e.For, e.Kind, e.A)
 	}
@@ -68,13 +91,24 @@ type FaultSchedule struct {
 // be storage providers only — partitioning or crashing the namespace server
 // is a different experiment.
 func RandomFaultSchedule(seed int64, victims []wire.NodeID, horizon time.Duration, n int) FaultSchedule {
+	return RandomFaultScheduleKinds(seed, victims, horizon, n, DefaultFaultKinds)
+}
+
+// RandomFaultScheduleKinds is RandomFaultSchedule drawing from an explicit
+// fault-kind mix. Write-fault windows (torn/lost) never overlap each other
+// anywhere in the cluster: a commit strikes its replicas on distinct nodes,
+// so with at most one armed node at a time every acked version retains at
+// least one clean replica — the corruption is always detectable via checksum
+// failover and repairable from the clean copy.
+func RandomFaultScheduleKinds(seed int64, victims []wire.NodeID, horizon time.Duration, n int, kinds []FaultKind) FaultSchedule {
 	rng := rand.New(rand.NewSource(seed))
-	kinds := []FaultKind{FaultPartition, FaultLossy, FaultPause, FaultCrash}
 	// busy tracks per-node [start, end) windows during which the node is
-	// crashed or paused.
+	// crashed, paused, or armed with a write fault; wfBusy tracks write-fault
+	// windows globally.
 	busy := make(map[wire.NodeID][][2]time.Duration)
-	overlaps := func(id wire.NodeID, at, until time.Duration) bool {
-		for _, w := range busy[id] {
+	var wfBusy [][2]time.Duration
+	overlaps := func(ws [][2]time.Duration, at, until time.Duration) bool {
+		for _, w := range ws {
 			if at < w[1] && w[0] < until {
 				return true
 			}
@@ -102,10 +136,20 @@ func RandomFaultSchedule(seed int64, victims []wire.NodeID, horizon time.Duratio
 				e.Extra = time.Duration(rng.Int63n(int64(500 * time.Millisecond)))
 			}
 		case FaultPause, FaultCrash:
-			if overlaps(e.A, e.At, e.At+e.For) {
+			if overlaps(busy[e.A], e.At, e.At+e.For) {
 				continue // re-roll instead of double-crashing a node
 			}
 			busy[e.A] = append(busy[e.A], [2]time.Duration{e.At, e.At + e.For})
+		case FaultBitFlip:
+			e.For = 0 // point event; the scrubber is the repair
+		case FaultTornWrite, FaultLostWrite:
+			if overlaps(busy[e.A], e.At, e.At+e.For) || overlaps(wfBusy, e.At, e.At+e.For) {
+				continue
+			}
+			e.Drop = 0.5 + 0.5*rng.Float64() // per-commit fault probability
+			w := [2]time.Duration{e.At, e.At + e.For}
+			busy[e.A] = append(busy[e.A], w)
+			wfBusy = append(wfBusy, w)
 		}
 		sched.Events = append(sched.Events, e)
 	}
@@ -189,6 +233,28 @@ func (c *Cluster) applyFault(a faultAction, crashed map[wire.NodeID]bool) error 
 				return err
 			}
 			crashed[e.A] = true
+		}
+	case FaultBitFlip:
+		if !a.repair {
+			// Best effort: early in a run the node may hold nothing with a
+			// clean replica elsewhere yet.
+			c.CorruptProvider(e.A)
+		}
+	case FaultTornWrite, FaultLostWrite:
+		st := c.storeOf(e.A)
+		if st == nil {
+			return nil
+		}
+		if a.repair {
+			st.ClearFaults()
+		} else {
+			fc := segstore.FaultConfig{Seed: int64(e.At) ^ int64(len(e.A))}
+			if e.Kind == FaultTornWrite {
+				fc.TornWrite = e.Drop
+			} else {
+				fc.LostWrite = e.Drop
+			}
+			st.InjectFaults(fc)
 		}
 	}
 	return nil

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/segstore"
+	"repro/internal/wire"
+)
+
+// Storage-corruption harness: deterministic in-place damage to committed
+// replicas, paired with cluster-wide oracles the chaos suite uses to assert
+// that every injected fault is detected and repaired, and that no store ever
+// holds silently rotten bytes at the end of a run.
+
+// storeOf returns a node's segment store whether the daemon is running or
+// crashed (a crashed node's disk contents survive in the grave).
+func (c *Cluster) storeOf(id wire.NodeID) *segstore.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.providers[id]; ok {
+		return p.Store()
+	}
+	return c.graves[id]
+}
+
+// CorruptProvider flips one bit in a committed replica on id — but only in a
+// segment for which some RUNNING provider holds a clean copy at the same or
+// a newer version. That oracle keeps injected rot repairable by
+// construction: the scrubber (or crash recovery) can always restore the
+// segment from the clean replica, so a chaos run can demand full cleanup.
+// Segments are considered in sorted ID order, making the choice
+// deterministic for a given cluster state. Returns the damaged segment.
+func (c *Cluster) CorruptProvider(id wire.NodeID) (ids.SegID, bool) {
+	st := c.storeOf(id)
+	if st == nil {
+		return ids.SegID{}, false
+	}
+	segs := st.Segments()
+	sort.Slice(segs, func(i, j int) bool { return bytes.Compare(segs[i][:], segs[j][:]) < 0 })
+	others := c.Providers()
+	for _, seg := range segs {
+		stat := st.Stat(seg)
+		if !stat.Present || stat.Direct || stat.Size == 0 {
+			continue
+		}
+		clean := false
+		for oid, op := range others {
+			if oid == id {
+				continue
+			}
+			os := op.Store()
+			if ost := os.Stat(seg); ost.Present && !ost.Direct && ost.Version >= stat.Version && os.VerifyVersion(seg, 0) {
+				clean = true
+				break
+			}
+		}
+		if clean && st.Corrupt(seg) {
+			return seg, true
+		}
+	}
+	return ids.SegID{}, false
+}
+
+// ClearAllStorageFaults disarms the write/read fault injectors on every
+// store, running or crashed.
+func (c *Cluster) ClearAllStorageFaults() {
+	c.mu.Lock()
+	stores := make([]*segstore.Store, 0, len(c.providers)+len(c.graves))
+	for _, p := range c.providers {
+		stores = append(stores, p.Store())
+	}
+	for _, st := range c.graves {
+		stores = append(stores, st)
+	}
+	c.mu.Unlock()
+	for _, st := range stores {
+		st.ClearFaults()
+	}
+}
+
+// IntegrityViolations counts committed versions, cluster-wide, whose stored
+// bytes no longer match their commit-time checksums. Zero means no store is
+// silently holding rot.
+func (c *Cluster) IntegrityViolations() int {
+	c.mu.Lock()
+	stores := make([]*segstore.Store, 0, len(c.providers)+len(c.graves))
+	for _, p := range c.providers {
+		stores = append(stores, p.Store())
+	}
+	for _, st := range c.graves {
+		stores = append(stores, st)
+	}
+	c.mu.Unlock()
+	n := 0
+	for _, st := range stores {
+		n += st.VerifyAll()
+	}
+	return n
+}
+
+// IntegrityDetections sums every store's corruption-detection counter.
+func (c *Cluster) IntegrityDetections() int64 {
+	var n int64
+	for _, p := range c.Providers() {
+		n += p.Store().IntegrityStats().Detected
+	}
+	return n
+}
+
+// AwaitScrubbed blocks until no store holds a corrupt committed version
+// (modeled time), i.e. every injected corruption has been detected and
+// dropped; pair with AwaitQuiesce to also wait for re-replication.
+func (c *Cluster) AwaitScrubbed(timeout time.Duration) error {
+	deadline := c.Clock.Now() + timeout
+	for {
+		if n := c.IntegrityViolations(); n == 0 {
+			return nil
+		}
+		if c.Clock.Now() > deadline {
+			detail := ""
+			c.mu.Lock()
+			for id, p := range c.providers {
+				if n := p.Store().VerifyAll(); n > 0 {
+					detail += fmt.Sprintf(" %s=%d", id, n)
+				}
+			}
+			for id, st := range c.graves {
+				if n := st.VerifyAll(); n > 0 {
+					detail += fmt.Sprintf(" %s(crashed)=%d", id, n)
+				}
+			}
+			c.mu.Unlock()
+			return fmt.Errorf("cluster: corrupt versions still held after %v:%s", timeout, detail)
+		}
+		c.Clock.Sleep(500 * time.Millisecond)
+	}
+}

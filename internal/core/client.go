@@ -137,6 +137,7 @@ type Client struct {
 	probesSent      *obs.Counter
 	retries         *obs.Counter
 	failovers       *obs.Counter
+	readMismatches  *obs.Counter
 	commitRetries   *obs.Counter
 	commitAborts    *obs.Counter
 
@@ -191,6 +192,7 @@ func NewClient(name string, clock *simtime.Clock, network transport.Network, cfg
 		c.probesSent = reg.Counter("sorrento_client_probes_total", node)
 		c.retries = reg.Counter("sorrento_client_retries_total", node)
 		c.failovers = reg.Counter("sorrento_client_failovers_total", node)
+		c.readMismatches = reg.Counter("sorrento_integrity_read_mismatch_total", node)
 		c.commitRetries = reg.Counter("sorrento_client_commit_retries_total", node)
 		c.commitAborts = reg.Counter("sorrento_client_commit_aborts_total", node)
 		c.members.Instrument(reg, name)

@@ -201,6 +201,11 @@ func (c *Client) readWhole(seg ids.SegID, ver uint64, cached []wire.OwnerInfo) (
 			continue
 		}
 		if r, ok := resp.(wire.SegFetchResp); ok && r.OK {
+			if !fetchRespIntact(r) {
+				lastErr = fmt.Errorf("core: fetch %s from %s: checksum mismatch", seg.Short(), o.Node)
+				c.readMismatches.Inc()
+				continue
+			}
 			if lastErr != nil {
 				c.failovers.Inc()
 			}
@@ -448,6 +453,12 @@ func (f *File) tryOwnersRead(owners []wire.OwnerInfo, seg ids.SegID, ver uint64,
 		r, ok := resp.(wire.SegReadResp)
 		if !ok || !r.OK || r.Redirect {
 			lastErr = fmt.Errorf("core: read %s from %s: %s", seg.Short(), o.Node, r.Err)
+			continue
+		}
+		if !readRespIntact(r) {
+			lastErr = fmt.Errorf("core: read %s from %s: checksum mismatch", seg.Short(), o.Node)
+			f.c.readMismatches.Inc()
+			f.dropCachedOwner(seg, o.Node)
 			continue
 		}
 		if lastErr != nil {

@@ -1,0 +1,31 @@
+package core
+
+import "repro/internal/wire"
+
+// Client-side verify-on-read: every successful read/fetch reply carries the
+// checksum(s) the provider computed, and the client re-sums the payload
+// before trusting it. The provider already verified against the commit-time
+// sums before the bytes left the store, so a mismatch here means the bytes
+// were damaged after that check — in the provider's send path, on the wire,
+// or by a buggy/compromised node. The client treats the reply exactly like
+// an RPC failure: count it, drop the owner from the cache, fail over to
+// another replica.
+
+// readRespIntact reports whether a successful SegReadResp's payload matches
+// the checksum the provider attached. Empty payloads carry sum 0.
+func readRespIntact(r wire.SegReadResp) bool {
+	if len(r.Data) == 0 {
+		return r.Sum == 0
+	}
+	return wire.SumOf(r.Data) == r.Sum
+}
+
+// fetchRespIntact reports whether a successful SegFetchResp's full payload
+// matches the commit-time block sums it carries. Nil sums mark a direct
+// (versioning-off) segment, which has no checksum metadata to verify.
+func fetchRespIntact(r wire.SegFetchResp) bool {
+	if r.Sums == nil {
+		return true
+	}
+	return wire.VerifySums(r.Data, r.Sums) < 0
+}

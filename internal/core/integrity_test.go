@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestReadRespIntact(t *testing.T) {
+	data := []byte("piece of a segment")
+	good := wire.SegReadResp{OK: true, Data: data, Sum: wire.SumOf(data)}
+	if !readRespIntact(good) {
+		t.Fatal("clean reply rejected")
+	}
+	bad := good
+	bad.Data = append([]byte(nil), data...)
+	bad.Data[3] ^= 0x40 // damaged after the provider summed it
+	if readRespIntact(bad) {
+		t.Fatal("damaged reply accepted")
+	}
+	empty := wire.SegReadResp{OK: true}
+	if !readRespIntact(empty) {
+		t.Fatal("empty reply rejected")
+	}
+	empty.Sum = 7 // sum without payload: something is lying
+	if readRespIntact(empty) {
+		t.Fatal("empty reply with nonzero sum accepted")
+	}
+}
+
+func TestFetchRespIntact(t *testing.T) {
+	data := make([]byte, wire.SumBlock+100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	good := wire.SegFetchResp{OK: true, Data: data, Sums: wire.SumsOf(data)}
+	if !fetchRespIntact(good) {
+		t.Fatal("clean fetch rejected")
+	}
+	bad := good
+	bad.Data = append([]byte(nil), data...)
+	bad.Data[wire.SumBlock+1] ^= 0x01
+	if fetchRespIntact(bad) {
+		t.Fatal("damaged fetch accepted")
+	}
+	// Direct segments carry no checksum metadata; nil sums pass through.
+	direct := wire.SegFetchResp{OK: true, Data: data}
+	if !fetchRespIntact(direct) {
+		t.Fatal("direct fetch rejected")
+	}
+}

@@ -154,7 +154,9 @@ func (p *Provider) handleRead(from wire.NodeID, m wire.SegRead) wire.SegReadResp
 	switch {
 	case err == nil:
 		p.store.RecordAccess(m.Seg, from, int64(len(data)))
-		return wire.SegReadResp{OK: true, Version: ver, Data: data, EOF: int64(len(data)) < m.Length}
+		// Sum covers the served slice (already verified against commit-time
+		// block sums by the store) so the client can verify end to end.
+		return wire.SegReadResp{OK: true, Version: ver, Data: data, EOF: int64(len(data)) < m.Length, Sum: wire.SumOf(data)}
 	case errors.Is(err, segstore.ErrNotFound), errors.Is(err, segstore.ErrNoVersion):
 		owners := p.table.Owners(m.Seg)
 		if len(owners) > 0 {
@@ -228,23 +230,23 @@ func (p *Provider) handleShadowRead(m wire.SegShadowRead) wire.SegReadResp {
 
 func (p *Provider) handleFetch(m wire.SegFetch) wire.SegFetchResp {
 	p.charge()
-	data, ver, replDeg, locThresh, err := p.store.Fetch(m.Seg, m.Version)
+	data, ver, replDeg, locThresh, sums, err := p.store.Fetch(m.Seg, m.Version)
 	if err != nil {
 		return wire.SegFetchResp{Err: err.Error()}
 	}
-	return wire.SegFetchResp{OK: true, Version: ver, Data: data, ReplDeg: replDeg, LocalityThreshold: locThresh}
+	return wire.SegFetchResp{OK: true, Version: ver, Data: data, ReplDeg: replDeg, LocalityThreshold: locThresh, Sums: sums}
 }
 
 func (p *Provider) handleFetchDelta(m wire.SegFetchDelta) wire.SegFetchDeltaResp {
 	p.charge()
-	ranges, size, ver, replDeg, locThresh, full, err := p.store.FetchDelta(m.Seg, m.HaveVer)
+	ranges, size, ver, replDeg, locThresh, full, sums, err := p.store.FetchDelta(m.Seg, m.HaveVer)
 	if err != nil {
 		return wire.SegFetchDeltaResp{Err: err.Error()}
 	}
 	return wire.SegFetchDeltaResp{
 		OK: true, Version: ver, Size: size, Ranges: ranges,
 		FullFallback: full != nil, Full: full,
-		ReplDeg: replDeg, LocalityThreshold: locThresh,
+		ReplDeg: replDeg, LocalityThreshold: locThresh, Sums: sums,
 	}
 }
 
@@ -327,9 +329,32 @@ func (p *Provider) handleReplicate(m wire.ReplicateNotify) wire.GenericResp {
 		// The home chose us as a new replica site because it does not know
 		// we already hold the segment; re-announce so the deficit clears.
 		p.notifyHomeSync(m.Seg)
+		if m.Handoff {
+			return p.verifyHandoff(m)
+		}
 		return wire.GenericResp{OK: true}
 	}
-	return p.pullSegment(m.Seg, m.Version, m.Source, m.ReplDeg, m.LocalityThreshold)
+	g := p.pullSegment(m.Seg, m.Version, m.Source, m.ReplDeg, m.LocalityThreshold)
+	if g.OK && m.Handoff {
+		return p.verifyHandoff(m)
+	}
+	return g
+}
+
+// verifyHandoff read-back-verifies a migration-class install before the OK
+// that licenses the source to erase its copy. A coalesced pull (another
+// transfer in flight) or a media write fault both fail the check here, so
+// the source keeps the segment and the migration retries later; a corrupt
+// install is dropped on the spot rather than left for the scrubber.
+func (p *Provider) verifyHandoff(m wire.ReplicateNotify) wire.GenericResp {
+	if st := p.store.Stat(m.Seg); !st.Present || st.Version < m.Version {
+		return wire.GenericResp{Err: "handoff: replica not yet installed"}
+	}
+	if !p.store.VerifyVersion(m.Seg, 0) {
+		p.store.ScrubSegment(m.Seg)
+		return wire.GenericResp{Err: "handoff: installed bytes failed verification"}
+	}
+	return wire.GenericResp{OK: true}
 }
 
 // maxPullAttempts bounds how many times a replica pull is retried across
@@ -421,7 +446,10 @@ func (p *Provider) pullFrom(seg ids.SegID, source wire.NodeID, replDeg int, locT
 				return wire.GenericResp{OK: true} // already current
 			}
 			if !d.FullFallback {
-				if err := p.store.ApplyDelta(seg, local.Version, d.Version, d.Ranges, d.Size, replDeg, locThresh); err == nil {
+				// ApplyDelta verifies the reconstructed buffer against the
+				// sender's commit-time sums before committing it (ErrCorrupt
+				// falls through to a full fetch like any local mismatch).
+				if err := p.store.ApplyDelta(seg, local.Version, d.Version, d.Ranges, d.Size, replDeg, locThresh, d.Sums); err == nil {
 					p.pm.pullsDelta.Inc()
 					p.notifyHomeSync(seg)
 					return wire.GenericResp{OK: true}
@@ -429,6 +457,14 @@ func (p *Provider) pullFrom(seg ids.SegID, source wire.NodeID, replDeg int, locT
 				// Local state moved underneath us; fall through to a full
 				// fetch.
 			} else {
+				if !verifyPayload(d.Full, d.Sums) {
+					// Verify-on-replicate: never install bytes that fail the
+					// sender's commit-time sums — corruption must not
+					// propagate. Fail the attempt so the retry loop rotates
+					// to another source.
+					p.pm.pullRejects.Inc()
+					return wire.GenericResp{Err: "pull: payload failed checksum"}
+				}
 				if err := p.store.Install(seg, d.Version, d.Full, orDefault(replDeg, d.ReplDeg), orDefaultF(locThresh, d.LocalityThreshold)); err != nil {
 					return wire.GenericResp{Err: err.Error()}
 				}
@@ -446,12 +482,26 @@ func (p *Provider) pullFrom(seg ids.SegID, source wire.NodeID, replDeg int, locT
 	if !ok || !f.OK {
 		return wire.GenericResp{Err: "fetch failed: " + f.Err}
 	}
+	if !verifyPayload(f.Data, f.Sums) {
+		p.pm.pullRejects.Inc()
+		return wire.GenericResp{Err: "pull: payload failed checksum"}
+	}
 	if err := p.store.Install(seg, f.Version, f.Data, orDefault(replDeg, f.ReplDeg), orDefaultF(locThresh, f.LocalityThreshold)); err != nil {
 		return wire.GenericResp{Err: err.Error()}
 	}
 	p.pm.pullsFull.Inc()
 	p.notifyHomeSync(seg)
 	return wire.GenericResp{OK: true}
+}
+
+// verifyPayload checks a fetched payload against the sender's commit-time
+// sums. Nil sums means the payload carries no integrity metadata (direct
+// segments, which replication skips anyway) and is accepted as-is.
+func verifyPayload(data []byte, sums []uint32) bool {
+	if sums == nil {
+		return true
+	}
+	return wire.VerifySums(data, sums) < 0
 }
 
 func orDefault(v, def int) int {

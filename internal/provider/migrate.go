@@ -168,6 +168,10 @@ func (p *Provider) migrateSegment(seg ids.SegID, dest wire.NodeID) error {
 		Source:            p.id,
 		ReplDeg:           st.ReplDeg,
 		LocalityThreshold: p.store.LocalityThreshold(seg),
+		// The local copy is erased on OK: make the destination read-back-
+		// verify before acking, so a lying media write cannot destroy the
+		// last clean replica.
+		Handoff: true,
 	})
 	if err != nil {
 		return err

@@ -62,6 +62,18 @@ type Config struct {
 	HeartbeatLoadEWMA float64
 	// Migration tunes the migration engine; see Migration type.
 	Migration MigrationConfig
+	// ScrubInterval is the background integrity scrubber's cadence: every
+	// interval it verifies ScrubBatch committed segments against their
+	// commit-time checksums, dropping and re-pulling corrupt versions. The
+	// scan is charged to the disk arm, so interval × batch sets the scrub
+	// bandwidth taken from foreground I/O. Zero defaults; negative disables.
+	ScrubInterval time.Duration
+	// ScrubBatch is how many segments each scrub pass verifies.
+	ScrubBatch int
+	// QuarantineThreshold is the cumulative corruption-detection count at
+	// which the provider concludes its media is failing and self-quarantines
+	// by entering the draining state. Zero defaults; negative disables.
+	QuarantineThreshold int
 	// Obs enables the provider's domain metrics (2PC rounds, location-table
 	// hit/miss, replica pulls, migration decisions with their f_l/f_s
 	// inputs) plus disk/CPU resource gauges. Nil disables all of it.
@@ -87,6 +99,12 @@ func DefaultConfig() Config {
 		Seed:              1,
 		HeartbeatLoadEWMA: 0.3,
 		Migration:         DefaultMigrationConfig(),
+		// A gentle default: a full pass over a few hundred segments takes
+		// tens of minutes, matching real scrubbers' weeks-per-pass posture
+		// scaled to modeled runs. Chaos tests crank it way down.
+		ScrubInterval:       5 * time.Minute,
+		ScrubBatch:          16,
+		QuarantineThreshold: 64,
 	}
 }
 
@@ -110,11 +128,13 @@ type Provider struct {
 	pullSem chan struct{} // bounds concurrent replica pulls
 	pm      providerMetrics
 
-	mu       sync.Mutex
-	lastHome map[ids.SegID]wire.NodeID // where each local segment was last registered
-	pulling  map[ids.SegID]bool        // replica pulls in flight (coalesced)
-	migrBusy bool                      // one active migration per node (§3.7.1)
-	rng      *rand.Rand
+	mu          sync.Mutex
+	lastHome    map[ids.SegID]wire.NodeID // where each local segment was last registered
+	pulling     map[ids.SegID]bool        // replica pulls in flight (coalesced)
+	migrBusy    bool                      // one active migration per node (§3.7.1)
+	rng         *rand.Rand
+	scrubCursor ids.SegID // scrub resume point (sorted-ID order)
+	quarantined bool      // corruption threshold tripped (latched)
 
 	// Drain state (admin plane): draining is gossiped in heartbeats so the
 	// whole cluster stops placing new data here; drainStop cancels the
@@ -139,20 +159,24 @@ type Provider struct {
 // at construction. All handles are nil when obs is off; every method on a
 // nil handle is a no-op, so call sites stay unconditional.
 type providerMetrics struct {
-	prepare2PC   *obs.Counter
-	commit2PC    *obs.Counter
-	abort2PC     *obs.Counter
-	prepareLat   *obs.Histogram
-	commitLat    *obs.Histogram
-	locHits      *obs.Counter
-	locMisses    *obs.Counter
-	pullsDelta   *obs.Counter
-	pullsFull    *obs.Counter
-	pullRetries  *obs.Counter
-	migrIOLoad   *obs.Counter
-	migrSpace    *obs.Counter
-	migrLocality *obs.Counter
-	loadFL       *obs.Gauge // f_l: the smoothed I/O load input to migration
+	prepare2PC        *obs.Counter
+	commit2PC         *obs.Counter
+	abort2PC          *obs.Counter
+	prepareLat        *obs.Histogram
+	commitLat         *obs.Histogram
+	locHits           *obs.Counter
+	locMisses         *obs.Counter
+	pullsDelta        *obs.Counter
+	pullsFull         *obs.Counter
+	pullRetries       *obs.Counter
+	pullRejects       *obs.Counter // fetched payloads rejected by checksum verify
+	integrityRepaired *obs.Counter
+	quarantines       *obs.Counter
+	scrubLat          *obs.Histogram
+	migrIOLoad        *obs.Counter
+	migrSpace         *obs.Counter
+	migrLocality      *obs.Counter
+	loadFL            *obs.Gauge // f_l: the smoothed I/O load input to migration
 }
 
 // instrument registers the provider's observability surface: domain metric
@@ -165,20 +189,24 @@ func (p *Provider) instrument(d *disk.Disk) {
 	}
 	node := obs.L("node", string(p.id))
 	p.pm = providerMetrics{
-		prepare2PC:   reg.Counter("sorrento_provider_2pc_total", node, obs.L("phase", "prepare")),
-		commit2PC:    reg.Counter("sorrento_provider_2pc_total", node, obs.L("phase", "commit")),
-		abort2PC:     reg.Counter("sorrento_provider_2pc_total", node, obs.L("phase", "abort")),
-		prepareLat:   reg.Histogram("sorrento_provider_2pc_seconds", nil, node, obs.L("phase", "prepare")),
-		commitLat:    reg.Histogram("sorrento_provider_2pc_seconds", nil, node, obs.L("phase", "commit")),
-		locHits:      reg.Counter("sorrento_provider_loc_queries_total", node, obs.L("result", "hit")),
-		locMisses:    reg.Counter("sorrento_provider_loc_queries_total", node, obs.L("result", "miss")),
-		pullsDelta:   reg.Counter("sorrento_provider_pulls_total", node, obs.L("kind", "delta")),
-		pullsFull:    reg.Counter("sorrento_provider_pulls_total", node, obs.L("kind", "full")),
-		pullRetries:  reg.Counter("sorrento_provider_pull_retries_total", node),
-		migrIOLoad:   reg.Counter("sorrento_provider_migrations_total", node, obs.L("trigger", "ioload")),
-		migrSpace:    reg.Counter("sorrento_provider_migrations_total", node, obs.L("trigger", "space")),
-		migrLocality: reg.Counter("sorrento_provider_migrations_total", node, obs.L("trigger", "locality")),
-		loadFL:       reg.Gauge("sorrento_provider_load_fl", node),
+		prepare2PC:        reg.Counter("sorrento_provider_2pc_total", node, obs.L("phase", "prepare")),
+		commit2PC:         reg.Counter("sorrento_provider_2pc_total", node, obs.L("phase", "commit")),
+		abort2PC:          reg.Counter("sorrento_provider_2pc_total", node, obs.L("phase", "abort")),
+		prepareLat:        reg.Histogram("sorrento_provider_2pc_seconds", nil, node, obs.L("phase", "prepare")),
+		commitLat:         reg.Histogram("sorrento_provider_2pc_seconds", nil, node, obs.L("phase", "commit")),
+		locHits:           reg.Counter("sorrento_provider_loc_queries_total", node, obs.L("result", "hit")),
+		locMisses:         reg.Counter("sorrento_provider_loc_queries_total", node, obs.L("result", "miss")),
+		pullsDelta:        reg.Counter("sorrento_provider_pulls_total", node, obs.L("kind", "delta")),
+		pullsFull:         reg.Counter("sorrento_provider_pulls_total", node, obs.L("kind", "full")),
+		pullRetries:       reg.Counter("sorrento_provider_pull_retries_total", node),
+		pullRejects:       reg.Counter("sorrento_integrity_pull_rejects_total", node),
+		integrityRepaired: reg.Counter("sorrento_integrity_repaired_total", node),
+		quarantines:       reg.Counter("sorrento_integrity_quarantines_total", node),
+		scrubLat:          reg.Histogram("sorrento_integrity_scrub_seconds", nil, node),
+		migrIOLoad:        reg.Counter("sorrento_provider_migrations_total", node, obs.L("trigger", "ioload")),
+		migrSpace:         reg.Counter("sorrento_provider_migrations_total", node, obs.L("trigger", "space")),
+		migrLocality:      reg.Counter("sorrento_provider_migrations_total", node, obs.L("trigger", "locality")),
+		loadFL:            reg.Gauge("sorrento_provider_load_fl", node),
 	}
 	obs.RegisterResource(reg, p.clock, d.Resource(), node)
 	obs.RegisterResource(reg, p.clock, p.cpu, node)
@@ -186,6 +214,19 @@ func (p *Provider) instrument(d *disk.Disk) {
 	reg.GaugeFunc("sorrento_disk_used_frac", d.UsedFrac, node)
 	reg.GaugeFunc("sorrento_provider_shadows_open", func() float64 { return float64(p.store.ShadowCount()) }, node)
 	reg.GaugeFunc("sorrento_provider_segments", func() float64 { return float64(p.store.Len()) }, node)
+	// Integrity counters live in the store as atomics (hot read path); the
+	// registry polls them as gauges with the counter-style names the rest of
+	// the sorrento_integrity_* family uses.
+	reg.GaugeFunc("sorrento_integrity_verified_total", func() float64 {
+		return float64(p.store.IntegrityStats().VerifiedBlocks)
+	}, node)
+	reg.GaugeFunc("sorrento_integrity_corrupt_total", func() float64 {
+		return float64(p.store.IntegrityStats().Detected)
+	}, node)
+	reg.GaugeFunc("sorrento_integrity_injected_total", func() float64 {
+		s := p.store.IntegrityStats()
+		return float64(s.InjectedWrite + s.InjectedRead)
+	}, node)
 	p.members.Instrument(reg, string(p.id))
 }
 
@@ -226,6 +267,15 @@ func NewWithStore(id wire.NodeID, clock *simtime.Clock, cfg Config, network tran
 	}
 	if cfg.HeartbeatLoadEWMA <= 0 {
 		cfg.HeartbeatLoadEWMA = def.HeartbeatLoadEWMA
+	}
+	if cfg.ScrubInterval == 0 {
+		cfg.ScrubInterval = def.ScrubInterval
+	}
+	if cfg.ScrubBatch <= 0 {
+		cfg.ScrubBatch = def.ScrubBatch
+	}
+	if cfg.QuarantineThreshold == 0 {
+		cfg.QuarantineThreshold = def.QuarantineThreshold
 	}
 	if cfg.Membership.HeartbeatInterval <= 0 {
 		cfg.Membership.HeartbeatInterval = membership.DefaultConfig().HeartbeatInterval
@@ -300,6 +350,9 @@ func (p *Provider) Start() {
 	}
 	p.loop(expireEvery, func() { p.store.ExpireShadows() })
 	p.loop(p.cfg.Migration.Interval, p.migrationTick)
+	if p.cfg.ScrubInterval > 0 {
+		p.loop(p.cfg.ScrubInterval, p.scrubTick)
+	}
 }
 
 // Stop halts the daemon. The endpoint stays open unless Kill is used.

@@ -146,7 +146,7 @@ func TestDirectReadIsACopy(t *testing.T) {
 		}
 	}
 	// And the fetch path too.
-	f1, _, _, _, err := st.Fetch(seg, 0)
+	f1, _, _, _, _, err := st.Fetch(seg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

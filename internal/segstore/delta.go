@@ -13,20 +13,23 @@ type DeltaRange = wire.DeltaRange
 // to the latest committed version (paper §3.6: stale replicas "retrieve
 // the updates", not whole segments). When the intermediate change sets
 // have been consolidated away, full falls back to the complete payload.
-func (st *Store) FetchDelta(seg ids.SegID, haveVer uint64) (ranges []DeltaRange, newSize int64, ver uint64, replDeg int, locThresh float64, full []byte, err error) {
+// sums are the latest version's commit-time checksums: the receiver applies
+// the delta and verifies the result against them before committing it.
+func (st *Store) FetchDelta(seg ids.SegID, haveVer uint64) (ranges []DeltaRange, newSize int64, ver uint64, replDeg int, locThresh float64, full []byte, sums []uint32, err error) {
 	st.mu.Lock()
 	s, ok := st.segs[seg]
 	if !ok || s.latest == 0 {
 		st.mu.Unlock()
-		return nil, 0, 0, 0, 0, nil, ErrNotFound
+		return nil, 0, 0, 0, 0, nil, nil, ErrNotFound
 	}
 	ver = s.latest
 	replDeg, locThresh = s.replDeg, s.localityThreshold
 	latest := s.versions[s.latest]
 	newSize = int64(len(latest))
+	sums = s.sums[s.latest]
 	if haveVer >= ver {
 		st.mu.Unlock()
-		return nil, newSize, ver, replDeg, locThresh, nil, nil
+		return nil, newSize, ver, replDeg, locThresh, nil, sums, nil
 	}
 	// Collect the union of changed ranges across (haveVer, ver]. If any
 	// change set is missing (consolidated), fall back to a full transfer.
@@ -48,7 +51,7 @@ func (st *Store) FetchDelta(seg ids.SegID, haveVer uint64) (ranges []DeltaRange,
 		}
 		st.mu.Unlock()
 		st.chargeRead(int64(len(out)))
-		return nil, newSize, ver, replDeg, locThresh, out, nil
+		return nil, newSize, ver, replDeg, locThresh, out, sums, nil
 	}
 	union = mergeRanges(union)
 	var total int64
@@ -67,13 +70,18 @@ func (st *Store) FetchDelta(seg ids.SegID, haveVer uint64) (ranges []DeltaRange,
 	}
 	st.mu.Unlock()
 	st.chargeRead(total)
-	return ranges, newSize, ver, replDeg, locThresh, nil, nil
+	return ranges, newSize, ver, replDeg, locThresh, nil, sums, nil
 }
 
 // ApplyDelta advances a local replica from fromVer to toVer by applying
 // changed ranges onto the local copy. It fails when the local version does
-// not match fromVer (the caller falls back to a full fetch).
-func (st *Store) ApplyDelta(seg ids.SegID, fromVer, toVer uint64, ranges []DeltaRange, newSize int64, replDeg int, locThresh float64) error {
+// not match fromVer (the caller falls back to a full fetch). wantSums are
+// the sender's commit-time checksums of the full target version: the
+// reconstructed buffer is verified against them BEFORE it is committed, so
+// a delta applied over a locally-rotted base (or carrying corrupt ranges)
+// is rejected with ErrCorrupt instead of propagating bad bytes. Nil
+// wantSums skips the check (the sums are then computed locally).
+func (st *Store) ApplyDelta(seg ids.SegID, fromVer, toVer uint64, ranges []DeltaRange, newSize int64, replDeg int, locThresh float64, wantSums []uint32) error {
 	st.mu.Lock()
 	s, ok := st.segs[seg]
 	if !ok || s.latest != fromVer {
@@ -92,7 +100,15 @@ func (st *Store) ApplyDelta(seg ids.SegID, fromVer, toVer uint64, ranges []Delta
 		copy(buf[r.Off:], r.Data)
 		written += int64(len(r.Data))
 	}
-	s.versions[toVer] = buf
+	if wantSums != nil {
+		if wire.VerifySums(buf, wantSums) >= 0 {
+			st.nDetected.Add(1)
+			st.mu.Unlock()
+			return ErrCorrupt
+		}
+		st.nVerifiedBlocks.Add(int64(len(wantSums)))
+	}
+	st.sealVersionLocked(s, toVer, buf, base)
 	s.latest = toVer
 	if replDeg > 0 {
 		s.replDeg = replDeg

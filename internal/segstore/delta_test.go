@@ -37,7 +37,7 @@ func TestFetchDeltaReturnsChangedRanges(t *testing.T) {
 	st.Create(seg, bytes.Repeat([]byte{'a'}, 100), 1, 0, false)
 	commitWrite(t, st, seg, 10, []byte("XXXX")) // v2
 
-	ranges, size, ver, _, _, full, err := st.FetchDelta(seg, 1)
+	ranges, size, ver, _, _, full, _, err := st.FetchDelta(seg, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestFetchDeltaAlreadyCurrent(t *testing.T) {
 	st := newStore(t)
 	seg := ids.New()
 	st.Create(seg, []byte("abc"), 1, 0, false)
-	ranges, _, ver, _, _, full, err := st.FetchDelta(seg, 1)
+	ranges, _, ver, _, _, full, _, err := st.FetchDelta(seg, 1)
 	if err != nil || ranges != nil || full != nil || ver != 1 {
 		t.Fatalf("current replica delta: %v %v %v %v", ranges, ver, full, err)
 	}
@@ -69,7 +69,7 @@ func TestFetchDeltaUnionsMultipleVersions(t *testing.T) {
 	commitWrite(t, st, seg, 0, []byte("11"))  // v2
 	commitWrite(t, st, seg, 10, []byte("22")) // v3
 
-	ranges, _, ver, _, _, full, err := st.FetchDelta(seg, 1)
+	ranges, _, ver, _, _, full, _, err := st.FetchDelta(seg, 1)
 	if err != nil || full != nil {
 		t.Fatalf("err=%v full=%v", err, full)
 	}
@@ -93,7 +93,7 @@ func TestFetchDeltaFullFallbackWhenHistoryPruned(t *testing.T) {
 		commitWrite(t, st, seg, 0, []byte{byte('A' + i%26)})
 	}
 	// A replica stuck at v1 is far beyond the retained change history.
-	_, _, ver, _, _, full, err := st.FetchDelta(seg, 1)
+	_, _, ver, _, _, full, _, err := st.FetchDelta(seg, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestFetchDeltaFromZeroIsFull(t *testing.T) {
 	st := newStore(t)
 	seg := ids.New()
 	st.Create(seg, []byte("payload"), 1, 0, false)
-	_, _, _, _, _, full, err := st.FetchDelta(seg, 0)
+	_, _, _, _, _, full, _, err := st.FetchDelta(seg, 0)
 	if err != nil || string(full) != "payload" {
 		t.Fatalf("full=%q err=%v", full, err)
 	}
@@ -117,7 +117,7 @@ func TestFetchDeltaFromZeroIsFull(t *testing.T) {
 
 func TestFetchDeltaMissingSegment(t *testing.T) {
 	st := newStore(t)
-	if _, _, _, _, _, _, err := st.FetchDelta(ids.New(), 1); !errors.Is(err, ErrNotFound) {
+	if _, _, _, _, _, _, _, err := st.FetchDelta(ids.New(), 1); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -131,11 +131,11 @@ func TestApplyDeltaAdvancesReplica(t *testing.T) {
 	dst.Install(seg, 1, base, 1, 0)
 	commitWrite(t, src, seg, 5, []byte("HELLO")) // v2
 
-	ranges, size, ver, rd, lt, full, err := src.FetchDelta(seg, 1)
+	ranges, size, ver, rd, lt, full, sums, err := src.FetchDelta(seg, 1)
 	if err != nil || full != nil {
 		t.Fatal(err)
 	}
-	if err := dst.ApplyDelta(seg, 1, ver, ranges, size, rd, lt); err != nil {
+	if err := dst.ApplyDelta(seg, 1, ver, ranges, size, rd, lt, sums); err != nil {
 		t.Fatal(err)
 	}
 	got, gver, _ := dst.Read(seg, 0, 0, 64)
@@ -149,7 +149,7 @@ func TestApplyDeltaVersionMismatch(t *testing.T) {
 	dst := newStore(t)
 	seg := ids.New()
 	dst.Install(seg, 3, []byte("v3"), 1, 0)
-	err := dst.ApplyDelta(seg, 2, 4, nil, 2, 1, 0)
+	err := dst.ApplyDelta(seg, 2, 4, nil, 2, 1, 0, nil)
 	if !errors.Is(err, ErrNoVersion) {
 		t.Fatalf("err = %v", err)
 	}
@@ -159,7 +159,7 @@ func TestApplyDeltaOutOfRangeRejected(t *testing.T) {
 	dst := newStore(t)
 	seg := ids.New()
 	dst.Install(seg, 1, []byte("abcd"), 1, 0)
-	err := dst.ApplyDelta(seg, 1, 2, []DeltaRange{{Off: 10, Data: []byte("zz")}}, 4, 1, 0)
+	err := dst.ApplyDelta(seg, 1, 2, []DeltaRange{{Off: 10, Data: []byte("zz")}}, 4, 1, 0, nil)
 	if !errors.Is(err, ErrNoVersion) {
 		t.Fatalf("err = %v", err)
 	}
@@ -179,7 +179,7 @@ func TestDeltaHandlesShrinkingFile(t *testing.T) {
 	src.Prepare("w", seg)
 	src.CommitPrepared("w", seg)
 
-	ranges, size, ver, rd, lt, full, err := src.FetchDelta(seg, 1)
+	ranges, size, ver, rd, lt, full, sums, err := src.FetchDelta(seg, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestDeltaHandlesShrinkingFile(t *testing.T) {
 		if err := dst.Install(seg, ver, full, rd, lt); err != nil {
 			t.Fatal(err)
 		}
-	} else if err := dst.ApplyDelta(seg, 1, ver, ranges, size, rd, lt); err != nil {
+	} else if err := dst.ApplyDelta(seg, 1, ver, ranges, size, rd, lt, sums); err != nil {
 		t.Fatal(err)
 	}
 	got, _, _ := dst.Read(seg, 0, 0, 100)
@@ -229,7 +229,7 @@ func TestDeltaSyncEquivalentToFullSync(t *testing.T) {
 			// Sync the replica every other commit so deltas span multiple
 			// versions sometimes.
 			if k%2 == 1 || k == commits-1 {
-				ranges, size, ver, rd, lt, full, err := src.FetchDelta(seg, have)
+				ranges, size, ver, rd, lt, full, sums, err := src.FetchDelta(seg, have)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -237,7 +237,7 @@ func TestDeltaSyncEquivalentToFullSync(t *testing.T) {
 					if err := dst.Install(seg, ver, full, rd, lt); err != nil {
 						t.Fatal(err)
 					}
-				} else if err := dst.ApplyDelta(seg, have, ver, ranges, size, rd, lt); err != nil {
+				} else if err := dst.ApplyDelta(seg, have, ver, ranges, size, rd, lt, sums); err != nil {
 					t.Fatal(err)
 				}
 				have = ver

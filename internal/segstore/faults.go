@@ -1,0 +1,250 @@
+package segstore
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// Storage fault injection: the disk-level counterpart of simnet's Fabric
+// fault layer. Where the Fabric drops and delays messages, this layer makes
+// the store's media lie — seeded bit flips, torn writes, lost writes, and
+// transient read errors — so chaos schedules can corrupt data the same way
+// they already partition links. Faults corrupt stored DATA only, never the
+// commit-time checksum metadata: the whole point is that verification
+// catches the divergence.
+//
+// All randomness is drawn from one seeded rng guarded by the store mutex,
+// so a given seed yields the same fault sequence for the same operation
+// order.
+
+// FaultConfig arms probabilistic storage faults on a store. Probabilities
+// are per committed version write (BitFlip/TornWrite/LostWrite, evaluated
+// as disjoint outcomes of a single roll) or per committed read (ReadErr).
+type FaultConfig struct {
+	Seed      int64
+	BitFlip   float64 // flip one random bit of the stored copy
+	TornWrite float64 // persist a prefix; the tail reverts to prior contents
+	LostWrite float64 // the write never reaches media; prior contents remain
+	ReadErr   float64 // transient media read error (ErrReadFault)
+}
+
+type faultState struct {
+	cfg FaultConfig
+	rng *rand.Rand
+}
+
+// InjectFaults arms (or re-arms) storage fault injection. A zero-probability
+// config still seeds the rng used by Corrupt/CorruptAny.
+func (st *Store) InjectFaults(cfg FaultConfig) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.faults = &faultState{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed | 1))}
+}
+
+// ClearFaults disarms probabilistic injection. Already-corrupted data stays
+// corrupted — healing is the scrubber's job, not the injector's.
+func (st *Store) ClearFaults() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.faults != nil {
+		st.faults.cfg = FaultConfig{Seed: st.faults.cfg.Seed}
+	}
+}
+
+// faultsLocked returns the fault state, lazily seeding one (probabilities
+// all zero) so direct corruption works without prior arming.
+func (st *Store) faultsLocked() *faultState {
+	if st.faults == nil {
+		st.faults = &faultState{rng: rand.New(rand.NewSource(1))}
+	}
+	return st.faults
+}
+
+// injectWriteFaultLocked applies an armed write fault to a freshly built
+// version buffer, returning the bytes that actually reach media. prev is the
+// superseded version's content (nil for a first write): torn and lost writes
+// expose stale bytes from it. The corrupted result is always a new buffer and
+// is only counted as an injection when it differs from the intended bytes —
+// a "fault" that leaves identical content is not corruption.
+func (st *Store) injectWriteFaultLocked(prev, buf []byte) []byte {
+	f := st.faults
+	if f == nil || len(buf) == 0 {
+		return buf
+	}
+	c := f.cfg
+	if c.BitFlip+c.TornWrite+c.LostWrite <= 0 {
+		return buf
+	}
+	roll := f.rng.Float64()
+	var bad []byte
+	switch {
+	case roll < c.BitFlip:
+		bad = append([]byte(nil), buf...)
+		bit := f.rng.Intn(len(bad) * 8)
+		bad[bit/8] ^= 1 << (bit % 8)
+	case roll < c.BitFlip+c.TornWrite:
+		cut := f.rng.Intn(len(buf))
+		bad = make([]byte, len(buf))
+		copy(bad, buf[:cut])
+		copy(bad[cut:], prevTail(prev, cut, len(buf)))
+	case roll < c.BitFlip+c.TornWrite+c.LostWrite:
+		bad = make([]byte, len(buf))
+		copy(bad, prev)
+	default:
+		return buf
+	}
+	if bytes.Equal(bad, buf) {
+		return buf
+	}
+	st.nInjectedWrite.Add(1)
+	return bad
+}
+
+// prevTail returns the stale bytes a torn write leaves beyond cut: the prior
+// version's content where it existed, zeros (never-written media) beyond it.
+func prevTail(prev []byte, cut, size int) []byte {
+	tail := make([]byte, size-cut)
+	if cut < len(prev) {
+		end := size
+		if end > len(prev) {
+			end = len(prev)
+		}
+		copy(tail, prev[cut:end])
+	}
+	return tail
+}
+
+// injectReadFaultLocked rolls for a transient media read error.
+func (st *Store) injectReadFaultLocked() bool {
+	f := st.faults
+	if f == nil || f.cfg.ReadErr <= 0 {
+		return false
+	}
+	if f.rng.Float64() >= f.cfg.ReadErr {
+		return false
+	}
+	st.nInjectedRead.Add(1)
+	return true
+}
+
+// Corrupt flips one random bit in the latest committed version of seg,
+// modeling silent bit rot at rest. It returns false when the segment is
+// absent, direct (no integrity metadata to catch it), or empty. The
+// corrupted buffer REPLACES the stored one: committed versions are served
+// zero-copy, and in-flight replies aliasing the old buffer must keep the
+// bytes they were verified with.
+func (st *Store) Corrupt(seg ids.SegID) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.segs[seg]
+	if !ok || s.direct || s.latest == 0 {
+		return false
+	}
+	return st.corruptLocked(s)
+}
+
+func (st *Store) corruptLocked(s *segment) bool {
+	data := s.versions[s.latest]
+	if len(data) == 0 {
+		return false
+	}
+	f := st.faultsLocked()
+	bad := append([]byte(nil), data...)
+	bit := f.rng.Intn(len(bad) * 8)
+	bad[bit/8] ^= 1 << (bit % 8)
+	s.versions[s.latest] = bad
+	st.nInjectedWrite.Add(1)
+	return true
+}
+
+// CorruptAny bit-flips one committed, non-direct, non-empty segment chosen
+// by the seeded rng (over a sorted ID list, for determinism) and returns
+// which one. ok is false when no eligible segment exists.
+func (st *Store) CorruptAny() (ids.SegID, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var cands []ids.SegID
+	for seg, s := range st.segs {
+		if !s.direct && s.latest != 0 && len(s.versions[s.latest]) > 0 {
+			cands = append(cands, seg)
+		}
+	}
+	if len(cands) == 0 {
+		return ids.SegID{}, false
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		return bytes.Compare(cands[i][:], cands[j][:]) < 0
+	})
+	seg := cands[st.faultsLocked().rng.Intn(len(cands))]
+	st.corruptLocked(st.segs[seg])
+	return seg, true
+}
+
+// IntegrityStats is a snapshot of the store's integrity counters.
+type IntegrityStats struct {
+	VerifiedBlocks int64 // checksum blocks that verified clean on reads
+	Detected       int64 // corrupt-version detections (reads, fetches, scrubs, recovery)
+	ScrubDropped   int64 // corrupt versions dropped by scrub/recovery
+	InjectedWrite  int64 // injected write faults that changed stored bytes
+	InjectedRead   int64 // injected transient read errors
+}
+
+// IntegrityStats returns the current counters. Atomics: safe without the
+// store lock (obs gauge callbacks poll this).
+func (st *Store) IntegrityStats() IntegrityStats {
+	return IntegrityStats{
+		VerifiedBlocks: st.nVerifiedBlocks.Load(),
+		Detected:       st.nDetected.Load(),
+		ScrubDropped:   st.nScrubDropped.Load(),
+		InjectedWrite:  st.nInjectedWrite.Load(),
+		InjectedRead:   st.nInjectedRead.Load(),
+	}
+}
+
+// VerifyVersion reports whether the stored bytes of (seg, ver; 0 = latest)
+// currently match their commit-time sums. Absent segments and versions
+// report false; direct segments (no sums) report true. Read-only: no
+// counters, no disk charge — a test/oracle hook.
+func (st *Store) VerifyVersion(seg ids.SegID, ver uint64) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.segs[seg]
+	if !ok || s.latest == 0 {
+		return false
+	}
+	if s.direct {
+		return true
+	}
+	if ver == 0 {
+		ver = s.latest
+	}
+	data, ok := s.versions[ver]
+	if !ok {
+		return false
+	}
+	return wire.VerifySums(data, s.sums[ver]) < 0
+}
+
+// VerifyAll re-checks every committed version of every segment against its
+// sums without mutating anything, returning the number of corrupt versions.
+// Read-only oracle for tests and admin tooling.
+func (st *Store) VerifyAll() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	bad := 0
+	for _, s := range st.segs {
+		if s.direct {
+			continue
+		}
+		for ver, data := range s.versions {
+			if wire.VerifySums(data, s.sums[ver]) >= 0 {
+				bad++
+			}
+		}
+	}
+	return bad
+}

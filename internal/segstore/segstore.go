@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/disk"
@@ -44,6 +45,12 @@ var (
 	ErrExists     = errors.New("segstore: segment already exists")
 	ErrExpired    = errors.New("segstore: shadow expired")
 	ErrUnprepared = errors.New("segstore: shadow not prepared")
+	// ErrCorrupt means stored bytes no longer match their commit-time
+	// checksums: the media lied. Readers fail over to another replica; the
+	// scrubber drops and re-replicates the version.
+	ErrCorrupt = errors.New("segstore: data corruption detected")
+	// ErrReadFault is an injected transient media read error (fault layer).
+	ErrReadFault = errors.New("segstore: media read error")
 )
 
 type shadow struct {
@@ -58,6 +65,12 @@ type shadow struct {
 type segment struct {
 	versions map[uint64][]byte
 	latest   uint64
+	// sums holds per-version commit-time CRC32C block checksums
+	// (wire.SumBlock granularity). They are computed from the bytes the
+	// writer intended, before any storage fault can touch the stored copy,
+	// and are never recomputed from stored data — so every read can detect
+	// silent corruption. Nil for direct (versioning-off) segments.
+	sums map[uint64][]uint32
 	// changes records, per retained version, the byte ranges that version
 	// modified — what stale replicas fetch to catch up (delta sync, §3.6).
 	changes map[uint64][]rng
@@ -100,6 +113,50 @@ type Store struct {
 	// "the latest one thousand accesses for the most recently accessed one
 	// thousand segments").
 	trackedHistories int
+
+	// faults is the armed storage fault injector (nil until first use); see
+	// faults.go. Guarded by mu.
+	faults *faultState
+
+	// Integrity counters (atomics: polled by obs gauges without the lock).
+	nVerifiedBlocks atomic.Int64
+	nDetected       atomic.Int64
+	nScrubDropped   atomic.Int64
+	nInjectedWrite  atomic.Int64
+	nInjectedRead   atomic.Int64
+}
+
+// sealVersionLocked records buf as (seg's) version ver together with its
+// commit-time sums, routing the stored bytes through the write-fault
+// injector. prev is the content being superseded (torn/lost writes expose
+// it). The sums always describe the INTENDED bytes: faults corrupt data on
+// its way to media, not the separately-kept checksum metadata.
+//
+// It models a BACKGROUND write (replica install, delta sync): a bulk fast
+// path that is not read back synchronously, so an armed torn/lost/bit-flip
+// fault lands silently and waits for a consumer or the scrubber to notice.
+func (st *Store) sealVersionLocked(s *segment, ver uint64, buf, prev []byte) {
+	if s.sums == nil {
+		s.sums = make(map[uint64][]uint32)
+	}
+	s.sums[ver] = wire.SumsOf(buf)
+	s.versions[ver] = st.injectWriteFaultLocked(prev, buf)
+}
+
+// sealVerifiedLocked is sealVersionLocked for FOREGROUND commit writes
+// (Create, CommitPrepared): the 2PC participant read-back-verifies the burst
+// before acknowledging — the write retries until the media took it clean, so
+// an acknowledged commit's original copy always matches its sums. Without
+// this, a write fault striking the sole not-yet-replicated copy of a fresh
+// commit would silently destroy acknowledged data with nothing to repair
+// from. (Background replication skips the read-back for throughput; the
+// scrubber is its backstop.)
+func (st *Store) sealVerifiedLocked(s *segment, ver uint64, buf []byte) {
+	if s.sums == nil {
+		s.sums = make(map[uint64][]uint32)
+	}
+	s.sums[ver] = wire.SumsOf(buf)
+	s.versions[ver] = buf
 }
 
 // MaxTrackedHistories bounds how many segments keep access histories.
@@ -154,8 +211,8 @@ func (st *Store) Create(seg ids.SegID, data []byte, replDeg int, locThresh float
 		st.disk.Free(int64(len(data)))
 		return ErrExists
 	}
-	st.segs[seg] = &segment{
-		versions:          map[uint64][]byte{1: append([]byte(nil), data...)},
+	s := &segment{
+		versions:          make(map[uint64][]byte),
 		latest:            1,
 		shadows:           make(map[string]*shadow),
 		replDeg:           replDeg,
@@ -163,6 +220,14 @@ func (st *Store) Create(seg ids.SegID, data []byte, replDeg int, locThresh float
 		direct:            direct,
 		lastAccess:        st.clock.Now(),
 	}
+	buf := append([]byte(nil), data...)
+	if direct {
+		// Direct segments are patched in place and carry no sums.
+		s.versions[1] = buf
+	} else {
+		st.sealVerifiedLocked(s, 1, buf)
+	}
+	st.segs[seg] = s
 	return nil
 }
 
@@ -194,7 +259,9 @@ func (st *Store) Install(seg ids.SegID, ver uint64, data []byte, replDeg int, lo
 		st.disk.Free(int64(len(data)))
 		return nil
 	}
-	s.versions[ver] = append([]byte(nil), data...)
+	// Callers verified data against the sender's commit-time sums before
+	// installing; summing the verified buffer here reproduces them.
+	st.sealVersionLocked(s, ver, append([]byte(nil), data...), s.versions[s.latest])
 	s.latest = ver
 	st.consolidateLocked(s)
 	return nil
@@ -432,7 +499,7 @@ func (st *Store) CommitPrepared(owner string, seg ids.SegID) (ver uint64, size i
 	}
 	sh.ext.read(0, buf, base)
 	written := sh.ext.writtenBytes()
-	s.versions[sh.planned] = buf
+	st.sealVerifiedLocked(s, sh.planned, buf)
 	if s.changes == nil {
 		s.changes = make(map[uint64][]rng)
 	}
@@ -495,6 +562,7 @@ func (st *Store) consolidateLocked(s *segment) {
 		if ver+KeepVersions <= s.latest && !s.pinned[ver] {
 			st.disk.Free(int64(len(data)))
 			delete(s.versions, ver)
+			delete(s.sums, ver)
 		}
 	}
 	for ver := range s.changes {
@@ -521,12 +589,27 @@ func (st *Store) Read(seg ids.SegID, ver uint64, off, n int64) ([]byte, uint64, 
 		st.mu.Unlock()
 		return nil, 0, ErrNoVersion
 	}
+	if st.injectReadFaultLocked() {
+		st.mu.Unlock()
+		return nil, 0, ErrReadFault
+	}
 	if off >= int64(len(data)) {
 		st.mu.Unlock()
 		return nil, ver, nil
 	}
 	if off+n > int64(len(data)) {
 		n = int64(len(data)) - off
+	}
+	// Verify the checksum blocks covering the requested range before
+	// serving. A mismatch fails the read — the client fails over to another
+	// replica and the scrubber will drop and re-replicate the version.
+	if !s.direct {
+		if wire.VerifyRange(data, s.sums[ver], off, n) >= 0 {
+			st.nDetected.Add(1)
+			st.mu.Unlock()
+			return nil, 0, ErrCorrupt
+		}
+		st.nVerifiedBlocks.Add((off+n-1)/wire.SumBlock - off/wire.SumBlock + 1)
 	}
 	// Committed versions of versioned segments are immutable once built
 	// (CommitPrepared, Install and ApplyDelta all create fresh buffers), so
@@ -547,13 +630,15 @@ func (st *Store) Read(seg ids.SegID, ver uint64, off, n int64) ([]byte, uint64, 
 }
 
 // Fetch returns a full committed version (0 = latest) with the segment's
-// policies, for sync/repair/migration transfers.
-func (st *Store) Fetch(seg ids.SegID, ver uint64) (data []byte, v uint64, replDeg int, locThresh float64, err error) {
+// policies and commit-time sums, for sync/repair/migration transfers. The
+// payload is verified before it leaves so corruption never propagates to
+// another replica; sums alias stored metadata and must not be mutated.
+func (st *Store) Fetch(seg ids.SegID, ver uint64) (data []byte, v uint64, replDeg int, locThresh float64, sums []uint32, err error) {
 	st.mu.Lock()
 	s, ok := st.segs[seg]
 	if !ok || s.latest == 0 {
 		st.mu.Unlock()
-		return nil, 0, 0, 0, ErrNotFound
+		return nil, 0, 0, 0, nil, ErrNotFound
 	}
 	if ver == 0 {
 		ver = s.latest
@@ -561,7 +646,20 @@ func (st *Store) Fetch(seg ids.SegID, ver uint64) (data []byte, v uint64, replDe
 	d, ok := s.versions[ver]
 	if !ok {
 		st.mu.Unlock()
-		return nil, 0, 0, 0, ErrNoVersion
+		return nil, 0, 0, 0, nil, ErrNoVersion
+	}
+	if st.injectReadFaultLocked() {
+		st.mu.Unlock()
+		return nil, 0, 0, 0, nil, ErrReadFault
+	}
+	if !s.direct {
+		if wire.VerifySums(d, s.sums[ver]) >= 0 {
+			st.nDetected.Add(1)
+			st.mu.Unlock()
+			return nil, 0, 0, 0, nil, ErrCorrupt
+		}
+		st.nVerifiedBlocks.Add(int64(len(s.sums[ver])))
+		sums = s.sums[ver]
 	}
 	// Same zero-copy rule as Read: immutable unless the segment is direct.
 	out := d[:len(d):len(d)]
@@ -571,7 +669,7 @@ func (st *Store) Fetch(seg ids.SegID, ver uint64) (data []byte, v uint64, replDe
 	replDeg, locThresh = s.replDeg, s.localityThreshold
 	st.mu.Unlock()
 	st.chargeRead(int64(len(out)))
-	return out, ver, replDeg, locThresh, nil
+	return out, ver, replDeg, locThresh, sums, nil
 }
 
 // WriteDirect applies an in-place write to a versioning-off segment.
@@ -712,22 +810,107 @@ func (st *Store) ExpireShadows() int {
 
 // CrashRecover models a provider restart over the same disk: committed
 // versions are durable and survive, while volatile state — open shadows,
-// prepared-but-uncommitted 2PC state, commit-slot locks — is lost. It
-// returns the number of shadow sessions discarded. Segments that existed
-// only as uncommitted shadows disappear entirely, exactly as an unflushed
-// file would.
-func (st *Store) CrashRecover() int {
+// prepared-but-uncommitted 2PC state, commit-slot locks — is lost. The
+// crash window can also tear a committed write that was still in the
+// write-back cache, so recovery re-validates every committed version
+// against its commit-time sums instead of trusting the store blindly;
+// versions that fail are dropped (the repair path re-pulls them from
+// healthy replicas). It returns the number of shadow sessions discarded
+// and the number of corrupt versions dropped.
+func (st *Store) CrashRecover() (shadows, corrupt int) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	n := 0
-	for _, s := range st.segs {
+	for seg, s := range st.segs {
 		for owner, sh := range s.shadows {
 			st.dropShadowLocked(s, owner, sh)
-			n++
+			shadows++
 		}
 		s.commitOwner = ""
+		corrupt += st.dropCorruptLocked(seg, s)
 	}
-	return n
+	return shadows, corrupt
+}
+
+// dropCorruptLocked verifies every committed version of s, dropping those
+// whose bytes no longer match their sums and repairing the latest pointer.
+// A segment left with no versions (and no shadows) disappears so the repair
+// machinery re-pulls it cleanly. Returns the number of versions dropped.
+func (st *Store) dropCorruptLocked(seg ids.SegID, s *segment) int {
+	if s.direct || s.latest == 0 {
+		return 0
+	}
+	dropped := 0
+	var freed int64
+	for ver, data := range s.versions {
+		if wire.VerifySums(data, s.sums[ver]) < 0 {
+			continue
+		}
+		st.nDetected.Add(1)
+		st.nScrubDropped.Add(1)
+		freed += int64(len(data))
+		delete(s.versions, ver)
+		delete(s.sums, ver)
+		delete(s.changes, ver)
+		dropped++
+	}
+	if dropped == 0 {
+		return 0
+	}
+	st.disk.Free(freed)
+	if _, ok := s.versions[s.latest]; !ok {
+		// The latest version was corrupt: fall back to the newest surviving
+		// one. Change-set metadata may now reference dropped versions, so
+		// wipe it — delta sync falls back to full transfers.
+		s.latest = 0
+		for ver := range s.versions {
+			if ver > s.latest {
+				s.latest = ver
+			}
+		}
+		s.changes = nil
+	}
+	if s.latest == 0 && len(s.shadows) == 0 {
+		delete(st.segs, seg)
+	}
+	return dropped
+}
+
+// ScrubSegment verifies all committed versions of one segment against their
+// commit-time sums, dropping any that fail. It returns the bytes scanned,
+// the number of corrupt versions dropped, and whether the latest committed
+// version survived (false tells the scrubber to trigger a repair pull).
+//
+// The scan is NOT charged to the disk arm here: a scrubber sweeps media
+// mostly sequentially, so per-segment charges would bill one random seek
+// per segment and saturate the arm on small-segment stores. The caller
+// charges one sequential read of the summed scanned bytes per batch
+// (see provider.scrubTick).
+func (st *Store) ScrubSegment(seg ids.SegID) (scanned int64, dropped int, present bool) {
+	st.mu.Lock()
+	s, ok := st.segs[seg]
+	if !ok || s.latest == 0 {
+		st.mu.Unlock()
+		return 0, 0, false
+	}
+	if s.direct {
+		st.mu.Unlock()
+		return 0, 0, true // no integrity metadata to check
+	}
+	before := s.latest
+	for _, data := range s.versions {
+		scanned += int64(len(data))
+	}
+	dropped = st.dropCorruptLocked(seg, s)
+	if dropped == 0 {
+		blocks := int64(0)
+		for _, sums := range s.sums {
+			blocks += int64(len(sums))
+		}
+		st.nVerifiedBlocks.Add(blocks)
+	}
+	present = s.latest == before
+	st.mu.Unlock()
+	return scanned, dropped, present
 }
 
 // PinVersion marks a committed version as a milestone: consolidation will

@@ -314,7 +314,7 @@ func TestFetch(t *testing.T) {
 	st := newStore(t)
 	seg := ids.New()
 	st.Create(seg, []byte("payload"), 3, 0.7, false)
-	data, ver, rd, lt, err := st.Fetch(seg, 0)
+	data, ver, rd, lt, _, err := st.Fetch(seg, 0)
 	if err != nil || ver != 1 || string(data) != "payload" || rd != 3 || lt != 0.7 {
 		t.Fatalf("Fetch = %q v%d rd%d lt%v err %v", data, ver, rd, lt, err)
 	}
@@ -474,7 +474,7 @@ func TestCrashRecoverKeepsCommittedDropsVolatile(t *testing.T) {
 	st.WriteShadow("s1", fresh, 0, []byte("lost"))
 
 	used := st.Disk().Used()
-	if n := st.CrashRecover(); n != 2 {
+	if n, _ := st.CrashRecover(); n != 2 {
 		t.Fatalf("CrashRecover dropped %d shadows, want 2", n)
 	}
 	if st.Disk().Used() >= used {

@@ -1,0 +1,90 @@
+package wire
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+func TestSumsOfRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, SumBlock - 1, SumBlock, SumBlock + 1, 3*SumBlock + 17} {
+		data := make([]byte, n)
+		rng.Read(data)
+		sums := SumsOf(data)
+		if n == 0 {
+			if sums != nil {
+				t.Fatalf("SumsOf(empty) = %v, want nil", sums)
+			}
+			continue
+		}
+		want := (n + SumBlock - 1) / SumBlock
+		if len(sums) != want {
+			t.Fatalf("len(SumsOf(%d)) = %d, want %d", n, len(sums), want)
+		}
+		if got := VerifySums(data, sums); got != -1 {
+			t.Fatalf("VerifySums(clean %d bytes) = %d, want -1", n, got)
+		}
+	}
+}
+
+func TestSumOfMatchesCastagnoli(t *testing.T) {
+	data := []byte("sorrento")
+	want := crc32.Checksum(data, crc32.MakeTable(crc32.Castagnoli))
+	if got := SumOf(data); got != want {
+		t.Fatalf("SumOf = %#x, want %#x", got, want)
+	}
+}
+
+func TestVerifySumsDetectsFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := make([]byte, 2*SumBlock+100)
+	rng.Read(data)
+	sums := SumsOf(data)
+
+	// Flip one bit in each block in turn; VerifySums must name that block.
+	for block := 0; block < len(sums); block++ {
+		pos := block*SumBlock + rng.Intn(minInt(SumBlock, len(data)-block*SumBlock))
+		data[pos] ^= 0x10
+		if got := VerifySums(data, sums); got != block {
+			t.Fatalf("flip in block %d: VerifySums = %d", block, got)
+		}
+		data[pos] ^= 0x10
+	}
+
+	// Wrong sum count is itself a corruption signal.
+	if got := VerifySums(data, sums[:len(sums)-1]); got != 0 {
+		t.Fatalf("VerifySums(short sums) = %d, want 0", got)
+	}
+}
+
+func TestVerifyRangeCoversOnlyTouchedBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 4*SumBlock)
+	rng.Read(data)
+	sums := SumsOf(data)
+
+	// Corrupt block 3 only; a read confined to blocks 0-1 stays clean.
+	data[3*SumBlock+5] ^= 0x80
+	if got := VerifyRange(data, sums, 0, 2*SumBlock); got != -1 {
+		t.Fatalf("VerifyRange(clean window) = %d, want -1", got)
+	}
+	// A read touching block 3 trips.
+	if got := VerifyRange(data, sums, 3*SumBlock-10, 20); got != 3 {
+		t.Fatalf("VerifyRange(dirty window) = %d, want 3", got)
+	}
+	// Zero-length and empty-data reads are vacuously clean.
+	if got := VerifyRange(data, sums, SumBlock, 0); got != -1 {
+		t.Fatalf("VerifyRange(n=0) = %d, want -1", got)
+	}
+	if got := VerifyRange(nil, sums, 0, 10); got != -1 {
+		t.Fatalf("VerifyRange(empty data) = %d, want -1", got)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -777,6 +777,28 @@ func appendU64s(b []byte, s []uint64) []byte {
 	return b
 }
 
+func u32sSize(s []uint32) int { return 4 + len(s)*4 }
+
+func appendU32s(b []byte, s []uint32) []byte {
+	b = appendU32(b, uint32(len(s)))
+	for _, v := range s {
+		b = appendU32(b, v)
+	}
+	return b
+}
+
+func (r *wireReader) u32s(old []uint32) []uint32 {
+	n := r.count()
+	if n == 0 {
+		return nil
+	}
+	out := sliceFor(old, n)
+	for i := range out {
+		out[i] = r.u32()
+	}
+	return out
+}
+
 func (r *wireReader) u64s(old []uint64) []uint64 {
 	n := r.count()
 	if n == 0 {
@@ -1113,7 +1135,7 @@ func (m *SegRead) decodeWire(r *wireReader) {
 func (SegReadResp) wireTag() uint16 { return tagSegReadResp }
 func (m SegReadResp) encodedSize() int {
 	return boolSize + strSize(m.Err) + boolSize + ownersSize(m.Owners) +
-		numSize + bytesSize(m.Data) + boolSize
+		numSize + bytesSize(m.Data) + boolSize + 4
 }
 func (m SegReadResp) appendWire(b []byte) []byte {
 	b = appendBool(b, m.OK)
@@ -1122,7 +1144,8 @@ func (m SegReadResp) appendWire(b []byte) []byte {
 	b = appendOwners(b, m.Owners)
 	b = appendU64(b, m.Version)
 	b = appendBytes(b, m.Data)
-	return appendBool(b, m.EOF)
+	b = appendBool(b, m.EOF)
+	return appendU32(b, m.Sum)
 }
 func (m *SegReadResp) decodeWire(r *wireReader) {
 	m.OK = r.bool_()
@@ -1132,6 +1155,7 @@ func (m *SegReadResp) decodeWire(r *wireReader) {
 	m.Version = r.u64()
 	m.Data = r.bytes(m.Data)
 	m.EOF = r.bool_()
+	m.Sum = r.u32()
 }
 
 func (SegCreate) wireTag() uint16 { return tagSegCreate }
@@ -1359,7 +1383,8 @@ func (m *SegFetch) decodeWire(r *wireReader) {
 
 func (SegFetchResp) wireTag() uint16 { return tagSegFetchResp }
 func (m SegFetchResp) encodedSize() int {
-	return boolSize + strSize(m.Err) + numSize + bytesSize(m.Data) + numSize + numSize
+	return boolSize + strSize(m.Err) + numSize + bytesSize(m.Data) + numSize + numSize +
+		u32sSize(m.Sums)
 }
 func (m SegFetchResp) appendWire(b []byte) []byte {
 	b = appendBool(b, m.OK)
@@ -1367,7 +1392,8 @@ func (m SegFetchResp) appendWire(b []byte) []byte {
 	b = appendU64(b, m.Version)
 	b = appendBytes(b, m.Data)
 	b = appendInt(b, m.ReplDeg)
-	return appendF64(b, m.LocalityThreshold)
+	b = appendF64(b, m.LocalityThreshold)
+	return appendU32s(b, m.Sums)
 }
 func (m *SegFetchResp) decodeWire(r *wireReader) {
 	m.OK = r.bool_()
@@ -1376,6 +1402,7 @@ func (m *SegFetchResp) decodeWire(r *wireReader) {
 	m.Data = r.bytes(m.Data)
 	m.ReplDeg = r.int_()
 	m.LocalityThreshold = r.f64()
+	m.Sums = r.u32s(m.Sums)
 }
 
 func (GenericResp) wireTag() uint16 { return tagGenericResp }
@@ -1410,7 +1437,7 @@ func (m SegFetchDeltaResp) encodedSize() int {
 	for i := range m.Ranges {
 		n += numSize + bytesSize(m.Ranges[i].Data)
 	}
-	return n + boolSize + bytesSize(m.Full) + numSize + numSize
+	return n + boolSize + bytesSize(m.Full) + numSize + numSize + u32sSize(m.Sums)
 }
 func (m SegFetchDeltaResp) appendWire(b []byte) []byte {
 	b = appendBool(b, m.OK)
@@ -1425,7 +1452,8 @@ func (m SegFetchDeltaResp) appendWire(b []byte) []byte {
 	b = appendBool(b, m.FullFallback)
 	b = appendBytes(b, m.Full)
 	b = appendInt(b, m.ReplDeg)
-	return appendF64(b, m.LocalityThreshold)
+	b = appendF64(b, m.LocalityThreshold)
+	return appendU32s(b, m.Sums)
 }
 func (m *SegFetchDeltaResp) decodeWire(r *wireReader) {
 	m.OK = r.bool_()
@@ -1448,6 +1476,7 @@ func (m *SegFetchDeltaResp) decodeWire(r *wireReader) {
 	m.Full = r.bytes(m.Full)
 	m.ReplDeg = r.int_()
 	m.LocalityThreshold = r.f64()
+	m.Sums = r.u32s(m.Sums)
 }
 
 func (Prepare2PC) wireTag() uint16 { return tagPrepare2PC }
@@ -1616,14 +1645,15 @@ func (m *SyncNotify) decodeWire(r *wireReader) {
 
 func (ReplicateNotify) wireTag() uint16 { return tagReplicateNotify }
 func (m ReplicateNotify) encodedSize() int {
-	return idSize + numSize + strSize(string(m.Source)) + numSize + numSize
+	return idSize + numSize + strSize(string(m.Source)) + numSize + numSize + boolSize
 }
 func (m ReplicateNotify) appendWire(b []byte) []byte {
 	b = appendID(b, m.Seg)
 	b = appendU64(b, m.Version)
 	b = appendStr(b, string(m.Source))
 	b = appendInt(b, m.ReplDeg)
-	return appendF64(b, m.LocalityThreshold)
+	b = appendF64(b, m.LocalityThreshold)
+	return appendBool(b, m.Handoff)
 }
 func (m *ReplicateNotify) decodeWire(r *wireReader) {
 	m.Seg = r.id()
@@ -1631,6 +1661,7 @@ func (m *ReplicateNotify) decodeWire(r *wireReader) {
 	m.Source = NodeID(r.str(string(m.Source)))
 	m.ReplDeg = r.int_()
 	m.LocalityThreshold = r.f64()
+	m.Handoff = r.bool_()
 }
 
 func (MigrateRequest) wireTag() uint16 { return tagMigrateRequest }

@@ -22,6 +22,8 @@ func fillRandom(rng *rand.Rand, v reflect.Value, depth int) {
 		v.SetInt(rng.Int63() - rng.Int63())
 	case reflect.Uint8:
 		v.SetUint(uint64(rng.Intn(3)))
+	case reflect.Uint32:
+		v.SetUint(uint64(rng.Uint32()))
 	case reflect.Uint64:
 		v.SetUint(rng.Uint64())
 	case reflect.Float64:

@@ -321,6 +321,10 @@ type SegReadResp struct {
 	Version  uint64
 	Data     []byte
 	EOF      bool
+	// Sum is the CRC32C of Data, computed by the provider after its own
+	// block-level verification against commit-time sums, so the client can
+	// detect corruption end to end. Zero with empty Data.
+	Sum uint32
 }
 
 // SegCreate materializes a brand-new segment (version 1) on a provider.
@@ -453,6 +457,11 @@ type SegFetchResp struct {
 	// owner inherits the segment's policies.
 	ReplDeg           int
 	LocalityThreshold float64
+	// Sums are the commit-time per-SumBlock CRC32C sums of Data. Receivers
+	// verify before installing so corruption never propagates, and store
+	// these sums (not recomputed ones) with the replica. Nil for direct
+	// (versioning-off) segments, which carry no integrity metadata.
+	Sums []uint32
 }
 
 // DeltaRange is one changed byte range shipped by delta replica sync.
@@ -481,6 +490,11 @@ type SegFetchDeltaResp struct {
 	Full              []byte
 	ReplDeg           int
 	LocalityThreshold float64
+	// Sums are the commit-time per-SumBlock CRC32C sums of the FULL target
+	// version (whether delivered as ranges or as Full). The receiver applies
+	// the delta, then verifies the resulting buffer against these sums before
+	// committing it.
+	Sums []uint32
 }
 
 // GenericResp is a bare ok/err response shared by simple provider RPCs.
@@ -589,12 +603,19 @@ type SyncNotify struct {
 
 // ReplicateNotify tells a chosen node to become a new replica site by
 // fetching from Source.
+//
+// Handoff marks a migration-class transfer: the source will ERASE its copy
+// once this request acks OK, so the receiver must read-back-verify the
+// installed bytes against their checksums before acknowledging. Ordinary
+// repair replication leaves Handoff false — a lying media write there is
+// caught by the background scrubber, with the source copy still available.
 type ReplicateNotify struct {
 	Seg               ids.SegID
 	Version           uint64
 	Source            NodeID
 	ReplDeg           int
 	LocalityThreshold float64
+	Handoff           bool
 }
 
 // MigrateRequest tells a provider to hand a segment to Dest and erase the
